@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Ablation (§4.4): Glider's three-level insertion priorities. The
+ * paper maps the ISVM decision sum to RRPV 0 (confident friendly,
+ * sum >= 60), RRPV 2 (low-confidence friendly), and RRPV 7 (averse).
+ * This bench compares the confidence threshold of 60 against
+ * degenerate settings: 0 (binary friendly/averse at RRPV 0/7) and
+ * a very large threshold (everything friendly lands at RRPV 2).
+ */
+
+#include "bench_common.hh"
+#include "core/glider_policy.hh"
+
+using namespace glider;
+
+int
+main()
+{
+    bench::printBanner(
+        "Ablation: Glider insertion confidence threshold (RRPV 0/2/7)",
+        "the paper's 60-threshold three-level scheme; degenerate "
+        "variants bracket it");
+
+    const auto subset = std::vector<std::string>{"omnetpp", "mcf",
+                                                 "libquantum", "pr"};
+    std::printf("%-12s %10s %10s %10s  (LLC miss rate)\n", "Program",
+                "thresh=60", "binary(0)", "all-low");
+    for (const auto &name : subset) {
+        auto trace = bench::buildTrace(name);
+        std::printf("%-12s", name.c_str());
+        for (int thresh : {60, 0, 1 << 20}) {
+            core::GliderConfig cfg;
+            cfg.confidence_threshold = thresh;
+            sim::SimOptions opts;
+            auto res = sim::runSingleCore(
+                trace, std::make_unique<core::GliderPolicy>(cfg), opts);
+            std::printf(" %10.4f", res.llcMissRate());
+        }
+        std::printf("\n");
+        std::fflush(stdout);
+    }
+    return 0;
+}

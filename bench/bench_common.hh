@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Shared infrastructure for the experiment harness: environment
+ * knobs, Table 1 banner, policy/workload runners, and row printers.
+ *
+ * Every bench binary regenerates one table or figure of the paper.
+ * Absolute numbers differ from the paper (synthetic workloads, a
+ * simplified timing model — see DESIGN.md), but each harness prints
+ * the same rows/series so the paper's *shape* can be checked:
+ * orderings, approximate factors, crossover locations.
+ */
+
+#ifndef GLIDER_BENCH_BENCH_COMMON_HH
+#define GLIDER_BENCH_BENCH_COMMON_HH
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "cachesim/simulator.hh"
+#include "core/policy_factory.hh"
+#include "offline/dataset.hh"
+#include "offline/lstm_model.hh"
+#include "offline/simple_models.hh"
+#include "workloads/registry.hh"
+
+namespace glider {
+namespace bench {
+
+/** Integer env knob with default. */
+inline std::uint64_t
+envU64(const char *name, std::uint64_t def)
+{
+    const char *v = std::getenv(name);
+    return v ? std::strtoull(v, nullptr, 10) : def;
+}
+
+/** Per-workload trace length (CPU accesses). GLIDER_ACCESSES. */
+inline std::uint64_t
+traceAccesses()
+{
+    return envU64("GLIDER_ACCESSES", 2'000'000);
+}
+
+/** Offline-model hidden/embedding size. GLIDER_LSTM_DIM. */
+inline std::size_t
+lstmDim()
+{
+    return static_cast<std::size_t>(envU64("GLIDER_LSTM_DIM", 32));
+}
+
+/** Offline training epochs. GLIDER_EPOCHS. */
+inline int
+lstmEpochs()
+{
+    return static_cast<int>(envU64("GLIDER_EPOCHS", 6));
+}
+
+/** Print the experiment banner with the Table 1 configuration. */
+inline void
+printBanner(const char *experiment, const char *paper_result)
+{
+    sim::HierarchyConfig cfg;
+    std::printf("==========================================================="
+                "=====================\n");
+    std::printf("%s\n", experiment);
+    std::printf("Paper reference: %s\n", paper_result);
+    std::printf("Config (Table 1): L1 %lluKB/%u-way, L2 %lluKB/%u-way, "
+                "LLC %lluMB/%u-way, DRAM %u cycles\n",
+                static_cast<unsigned long long>(cfg.l1.size_bytes / 1024),
+                cfg.l1.ways,
+                static_cast<unsigned long long>(cfg.l2.size_bytes / 1024),
+                cfg.l2.ways,
+                static_cast<unsigned long long>(cfg.llc.size_bytes
+                                                / (1024 * 1024)),
+                cfg.llc.ways, cfg.dram_latency);
+    std::printf("Workloads: synthetic imitations (see DESIGN.md); "
+                "trace length %llu accesses\n",
+                static_cast<unsigned long long>(traceAccesses()));
+    std::printf("==========================================================="
+                "=====================\n");
+}
+
+/** Build (uncached) the trace for one workload at the bench length. */
+inline traces::Trace
+buildTrace(const std::string &name)
+{
+    traces::Trace t(name);
+    workloads::makeWorkload(name, traceAccesses())->run(t);
+    return t;
+}
+
+/** Run one workload trace under one policy (single core). */
+inline sim::SingleCoreResult
+runPolicy(const traces::Trace &trace, const std::string &policy)
+{
+    sim::SimOptions opts;
+    return sim::runSingleCore(trace, core::makePolicy(policy), opts);
+}
+
+/** Percentage change helpers. */
+inline double
+missReductionPct(const sim::SingleCoreResult &base,
+                 const sim::SingleCoreResult &x)
+{
+    if (base.llc.misses == 0)
+        return 0.0;
+    return 100.0
+        * (static_cast<double>(base.llc.misses)
+           - static_cast<double>(x.llc.misses))
+        / static_cast<double>(base.llc.misses);
+}
+
+inline double
+speedupPct(const sim::SingleCoreResult &base,
+           const sim::SingleCoreResult &x)
+{
+    return base.ipc > 0.0 ? 100.0 * (x.ipc / base.ipc - 1.0) : 0.0;
+}
+
+/** LstmConfig scaled for bench runtime (dims via env). */
+inline offline::LstmConfig
+benchLstmConfig(std::size_t seq_n = 15)
+{
+    offline::LstmConfig cfg;
+    cfg.embedding = lstmDim();
+    cfg.hidden = lstmDim();
+    cfg.seq_n = seq_n;
+    cfg.max_train_slices = 1500;
+    cfg.max_test_slices = 500;
+    return cfg;
+}
+
+/** Cap an offline dataset's length for bench runtime. */
+inline void
+capDataset(offline::OfflineDataset &ds, std::size_t max_accesses)
+{
+    if (ds.accesses.size() > max_accesses) {
+        ds.accesses.resize(max_accesses);
+        ds.train_end = 3 * max_accesses / 4;
+    }
+}
+
+} // namespace bench
+} // namespace glider
+
+#endif // GLIDER_BENCH_BENCH_COMMON_HH

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Figure 4: cumulative distribution of attention weights for scaling
+ * factors 1..5 on the omnetpp-like workload, with the model's test
+ * accuracy at each scale. The paper's point: raising the scale
+ * forces the attention distribution toward sparsity (mass moves to
+ * a few large weights) with essentially no accuracy loss.
+ */
+
+#include "bench_common.hh"
+#include "common/stats_util.hh"
+
+using namespace glider;
+
+int
+main()
+{
+    bench::printBanner(
+        "Figure 4: CDF of attention weights vs scaling factor (omnetpp)",
+        "scale 1..5 all reach ~85% accuracy; higher scales shift the "
+        "CDF toward sparse weight distributions");
+
+    auto trace = bench::buildTrace("omnetpp");
+    auto ds = offline::buildDataset(trace);
+    bench::capDataset(ds, 100'000);
+
+    std::printf("%-8s %9s | CDF at weight thresholds\n", "scale",
+                "accuracy");
+    std::printf("%-8s %9s |", "", "");
+    const double thresholds[] = {0.01, 0.05, 0.1, 0.2, 0.4, 0.6, 0.8};
+    for (double t : thresholds)
+        std::printf(" %6.2f", t);
+    std::printf("\n");
+
+    for (int scale = 1; scale <= 5; ++scale) {
+        auto cfg = bench::benchLstmConfig();
+        cfg.attention_scale = static_cast<float>(scale);
+        offline::AttentionLstmModel lstm(ds.vocab(), cfg);
+        for (int e = 0; e < bench::lstmEpochs(); ++e)
+            lstm.trainEpoch(ds);
+        double acc = 100.0 * lstm.evaluate(ds);
+
+        Histogram hist(0.0, 1.0, 100);
+        for (const auto &rec : lstm.captureAttention(ds, 1024))
+            for (float w : rec.weights)
+                hist.add(w);
+        auto cdf = hist.cdf();
+        std::printf("%-8d %8.1f%% |", scale, acc);
+        for (double t : thresholds) {
+            auto bin = static_cast<std::size_t>(t * 100.0);
+            if (bin >= cdf.size())
+                bin = cdf.size() - 1;
+            std::printf(" %6.3f", cdf[bin]);
+        }
+        std::printf("\n");
+        std::fflush(stdout);
+    }
+    std::printf("\nShape check (paper): accuracy is flat across "
+                "scales while the CDF at small thresholds rises with "
+                "the scale\n(more near-zero weights = sparser "
+                "attention), revealing the few influential sources.\n");
+    return 0;
+}

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Figure 6: accuracy on the original ordered test sequences vs the
+ * randomly shuffled sequences, per benchmark (Observation 3: the
+ * prediction is largely insensitive to history order).
+ */
+
+#include "bench_common.hh"
+#include "common/stats_util.hh"
+
+using namespace glider;
+
+int
+main()
+{
+    bench::printBanner(
+        "Figure 6: ordered vs shuffled history accuracy",
+        "shuffled sequences lose only marginal accuracy vs ordered "
+        "(averages ~80% vs ~79% in the paper)");
+
+    std::printf("%-10s %10s %10s %8s\n", "Program", "Ordered",
+                "Shuffled", "Delta");
+    std::vector<double> ord, shuf;
+    for (const auto &name : workloads::offlineSubset()) {
+        auto trace = bench::buildTrace(name);
+        auto ds = offline::buildDataset(trace);
+        bench::capDataset(ds, 100'000);
+        offline::AttentionLstmModel lstm(ds.vocab(),
+                                         bench::benchLstmConfig());
+        for (int e = 0; e < bench::lstmEpochs(); ++e)
+            lstm.trainEpoch(ds);
+        double o = 100.0 * lstm.evaluate(ds);
+        double s = 100.0 * lstm.evaluateShuffled(ds);
+        ord.push_back(o);
+        shuf.push_back(s);
+        std::printf("%-10s %9.1f%% %9.1f%% %+7.1f\n", name.c_str(), o,
+                    s, s - o);
+        std::fflush(stdout);
+    }
+    std::printf("%-10s %9.1f%% %9.1f%% %+7.1f\n", "average",
+                amean(ord), amean(shuf), amean(shuf) - amean(ord));
+    std::printf("\nShape check (paper): shuffling costs only a few "
+                "points — order carries little information beyond "
+                "presence,\nwhich is what licenses the k-sparse "
+                "unordered feature of §4.3.\n");
+    return 0;
+}

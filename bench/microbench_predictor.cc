@@ -1,0 +1,124 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks for the hot structures: ISVM
+ * predict/train, PCHR updates, OPTgen access, full Glider LLC
+ * access, and the exact-MIN simulator — the simulator-side cost
+ * companion to Table 3's hardware cost accounting.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "cachesim/cache.hh"
+#include "core/glider_policy.hh"
+#include "core/glider_predictor.hh"
+#include "opt/belady.hh"
+#include "opt/optgen.hh"
+#include "policies/lru.hh"
+#include "workloads/registry.hh"
+
+using namespace glider;
+
+namespace {
+
+void
+BM_IsvmPredict(benchmark::State &state)
+{
+    core::Isvm isvm;
+    opt::PcHistory h{0x400000, 0x400004, 0x400008, 0x40000C, 0x400010};
+    for (auto _ : state)
+        benchmark::DoNotOptimize(isvm.predict(h));
+}
+BENCHMARK(BM_IsvmPredict);
+
+void
+BM_IsvmTrain(benchmark::State &state)
+{
+    core::Isvm isvm;
+    opt::PcHistory h{0x400000, 0x400004, 0x400008, 0x40000C, 0x400010};
+    bool dir = false;
+    for (auto _ : state) {
+        isvm.train(h, dir = !dir, 30);
+        benchmark::DoNotOptimize(isvm);
+    }
+}
+BENCHMARK(BM_IsvmTrain);
+
+void
+BM_PchrObserve(benchmark::State &state)
+{
+    core::PcHistoryRegister pchr(5);
+    std::uint64_t pc = 0;
+    for (auto _ : state) {
+        pchr.observe(0x400000 + (pc++ % 9) * 4);
+        benchmark::DoNotOptimize(pchr);
+    }
+}
+BENCHMARK(BM_PchrObserve);
+
+void
+BM_OptGenAccess(benchmark::State &state)
+{
+    opt::OptGenSet set(16, 128, 32);
+    opt::PcHistory h{1, 2, 3, 4, 5};
+    std::uint64_t i = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            set.access(i % 40, 0x400000 + (i % 7) * 4, 0, h, true,
+                       true));
+        ++i;
+        while (auto ev = set.popExpired())
+            benchmark::DoNotOptimize(*ev);
+    }
+}
+BENCHMARK(BM_OptGenAccess);
+
+void
+BM_LlcAccessGlider(benchmark::State &state)
+{
+    sim::CacheConfig cfg;
+    cfg.size_bytes = 2 * 1024 * 1024;
+    cfg.ways = 16;
+    sim::Cache cache(cfg, std::make_unique<core::GliderPolicy>());
+    std::uint64_t i = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            cache.access(0, 0x400000 + (i % 13) * 4, i % 100'000,
+                         false));
+        ++i;
+    }
+}
+BENCHMARK(BM_LlcAccessGlider);
+
+void
+BM_LlcAccessLru(benchmark::State &state)
+{
+    sim::CacheConfig cfg;
+    cfg.size_bytes = 2 * 1024 * 1024;
+    cfg.ways = 16;
+    sim::Cache cache(cfg, std::make_unique<policies::LruPolicy>());
+    std::uint64_t i = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            cache.access(0, 0x400000 + (i % 13) * 4, i % 100'000,
+                         false));
+        ++i;
+    }
+}
+BENCHMARK(BM_LlcAccessLru);
+
+void
+BM_BeladySimulate(benchmark::State &state)
+{
+    const auto &trace = workloads::cachedTrace("sphinx3", 100'000);
+    for (auto _ : state) {
+        auto res = opt::simulateBelady(trace, 2048, 16);
+        benchmark::DoNotOptimize(res.hit_count);
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations())
+                            * static_cast<std::int64_t>(trace.size()));
+}
+BENCHMARK(BM_BeladySimulate);
+
+} // namespace
+
+BENCHMARK_MAIN();

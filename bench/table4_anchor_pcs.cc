@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Table 4: the four scheduleAt() target PCs of the omnetpp-like
+ * scheduler — per-target accuracy under the Hawkeye counter model vs
+ * the attention-based LSTM, plus the anchor PC (the source with the
+ * highest attention weight) each target attends to.
+ *
+ * The paper finds all four targets share one anchor PC inside
+ * scheduleEndIFGPeriod(), i.e. the model has discovered that the
+ * endIFG message objects are the cache-friendly ones.
+ */
+
+#include <algorithm>
+
+#include "bench_common.hh"
+#include "workloads/scheduler_kernel.hh"
+
+using namespace glider;
+
+int
+main()
+{
+    bench::printBanner(
+        "Table 4: target-PC accuracy and anchor PCs in scheduleAt()",
+        "four target PCs gain 16-41 points over Hawkeye and share one "
+        "anchor PC (the IFG caller)");
+
+    workloads::SchedulerKernel::Params p;
+    p.name = "omnetpp-t4";
+    p.kernel_id = 12; // omnetpp's registry slot: same PC namespace
+    p.seed = 0xC0FFEEull + 12 * 7919;
+    p.target_accesses = bench::traceAccesses();
+    workloads::SchedulerKernel kernel(p);
+    traces::Trace trace(p.name);
+    kernel.run(trace);
+
+    auto ds = offline::buildDataset(trace);
+    bench::capDataset(ds, 120'000);
+
+    // Map the kernel's raw target/caller PCs to vocabulary ids.
+    auto idOf = [&](std::uint64_t raw) -> std::int64_t {
+        for (std::size_t i = 0; i < ds.id_to_pc.size(); ++i)
+            if (ds.id_to_pc[i] == raw)
+                return static_cast<std::int64_t>(i);
+        return -1;
+    };
+
+    offline::OfflineHawkeye hawkeye(ds.vocab());
+    for (int e = 0; e < 3; ++e)
+        hawkeye.trainEpoch(ds);
+
+    auto cfg = bench::benchLstmConfig();
+    cfg.attention_scale = 3.0f;
+    offline::AttentionLstmModel lstm(ds.vocab(), cfg);
+    for (int e = 0; e < bench::lstmEpochs(); ++e)
+        lstm.trainEpoch(ds);
+
+    std::vector<std::uint32_t> target_ids;
+    for (unsigned t = 0; t < 4; ++t) {
+        auto id = idOf(kernel.targetPc(t));
+        if (id >= 0)
+            target_ids.push_back(static_cast<std::uint32_t>(id));
+    }
+    auto reports = lstm.perTargetPcReport(ds, target_ids);
+
+    // Hawkeye accuracy per target PC over the test range.
+    auto hawkeyeAccFor = [&](std::uint32_t pc_id) {
+        auto [lo, hi] = ds.testRange();
+        std::size_t n = 0, correct = 0;
+        for (std::size_t i = lo; i < hi; ++i) {
+            if (ds.accesses[i].pc_id != pc_id)
+                continue;
+            ++n;
+            correct += hawkeye.predict(pc_id)
+                == (ds.accesses[i].label != 0);
+        }
+        return n ? 100.0 * static_cast<double>(correct)
+                / static_cast<double>(n)
+                 : 0.0;
+    };
+
+    std::printf("%-12s %-12s %14s %16s\n", "Target PC", "Anchor PC",
+                "Hawkeye acc", "Attn-LSTM acc");
+    const auto &callers = kernel.callerPcs();
+    std::int64_t anchor_id = idOf(kernel.anchorPc());
+    for (const auto &rep : reports) {
+        std::printf("%-12llx %-12llx %13.1f%% %15.1f%%%s\n",
+                    static_cast<unsigned long long>(
+                        ds.id_to_pc[rep.target_pc]),
+                    static_cast<unsigned long long>(
+                        ds.id_to_pc[rep.anchor_pc]),
+                    hawkeyeAccFor(rep.target_pc), 100.0 * rep.accuracy,
+                    static_cast<std::int64_t>(rep.anchor_pc) == anchor_id
+                        || (anchor_id >= 0
+                            && ds.id_to_pc[rep.anchor_pc] == callers[1])
+                        ? "   <- anchors on the IFG caller"
+                        : "");
+    }
+    std::printf("\nGround truth caller PCs: IFG={%llx,%llx} "
+                "JAM={%llx,%llx} TX={%llx,%llx}\n",
+                static_cast<unsigned long long>(callers[0]),
+                static_cast<unsigned long long>(callers[1]),
+                static_cast<unsigned long long>(callers[2]),
+                static_cast<unsigned long long>(callers[3]),
+                static_cast<unsigned long long>(callers[4]),
+                static_cast<unsigned long long>(callers[5]));
+    std::printf("\nShape check (paper): every target PC's accuracy "
+                "rises sharply over Hawkeye once calling context is "
+                "available.\nThe paper's argmax-attention anchor is "
+                "the IFG caller; in this reduced model the argmax is "
+                "often the\ntarget's own previous occurrence (whose "
+                "hidden state already encodes the caller) with the "
+                "caller PCs as\nsecond-ranked sources — see "
+                "EXPERIMENTS.md.\n");
+    return 0;
+}

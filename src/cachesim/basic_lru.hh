@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Built-in true-LRU replacement, used for the private L1/L2 levels
+ * (and as the paper's LLC baseline via policies::LruPolicy, which is
+ * an alias of this mechanism).
+ */
+
+#ifndef GLIDER_CACHESIM_BASIC_LRU_HH
+#define GLIDER_CACHESIM_BASIC_LRU_HH
+
+#include <vector>
+
+#include "replacement.hh"
+
+namespace glider {
+namespace sim {
+
+/** True-LRU: per-line 64-bit timestamps, oldest way evicted. */
+class BasicLruPolicy : public ReplacementPolicy
+{
+  public:
+    std::string name() const override { return "LRU"; }
+
+    void
+    reset(const CacheGeometry &geom) override
+    {
+        geom_ = geom;
+        stamps_.assign(geom.sets * geom.ways, 0);
+        clock_ = 0;
+    }
+
+    std::uint32_t
+    victimWay(const ReplacementAccess &access,
+              const std::vector<LineView> &lines) override
+    {
+        const std::uint64_t *row = &stamps_[access.set * geom_.ways];
+        std::uint32_t victim = 0;
+        for (std::uint32_t w = 0; w < geom_.ways; ++w) {
+            if (!lines[w].valid)
+                return w;
+            if (row[w] < row[victim])
+                victim = w;
+        }
+        return victim;
+    }
+
+    void
+    onHit(const ReplacementAccess &access, std::uint32_t way) override
+    {
+        touch(access.set, way);
+    }
+
+    void
+    onEvict(const ReplacementAccess &, std::uint32_t,
+            const LineView &) override
+    {
+    }
+
+    void
+    onInsert(const ReplacementAccess &access, std::uint32_t way) override
+    {
+        touch(access.set, way);
+    }
+
+  private:
+    void
+    touch(std::uint64_t set, std::uint32_t way)
+    {
+        stamps_[set * geom_.ways + way] = ++clock_;
+    }
+
+    CacheGeometry geom_;
+    std::vector<std::uint64_t> stamps_;
+    std::uint64_t clock_ = 0;
+};
+
+} // namespace sim
+} // namespace glider
+
+#endif // GLIDER_CACHESIM_BASIC_LRU_HH

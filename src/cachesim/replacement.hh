@@ -1,0 +1,91 @@
+/**
+ * @file
+ * The replacement-policy plugin interface, modelled on the API of the
+ * 2nd Cache Replacement Championship (CRC2): a policy is asked for a
+ * victim way on each miss and notified on every access so it can
+ * update its internal state. Policies own all replacement metadata
+ * (RRPVs, predictor tables, samplers); the cache owns only tags.
+ */
+
+#ifndef GLIDER_CACHESIM_REPLACEMENT_HH
+#define GLIDER_CACHESIM_REPLACEMENT_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace glider {
+namespace sim {
+
+/** Static shape of the cache a policy is driving. */
+struct CacheGeometry
+{
+    std::uint64_t sets = 0;
+    std::uint32_t ways = 0;
+    std::uint32_t cores = 1; //!< cores sharing this cache
+};
+
+/** Tag-array view of one line, passed to victim selection. */
+struct LineView
+{
+    bool valid = false;
+    std::uint64_t block_addr = 0;
+};
+
+/** One access as seen by the replacement policy. */
+struct ReplacementAccess
+{
+    std::uint64_t set = 0;
+    std::uint64_t pc = 0;
+    std::uint64_t block_addr = 0;
+    std::uint8_t core = 0;
+    bool is_write = false;
+};
+
+/**
+ * Abstract replacement policy (CRC2-style).
+ *
+ * Call protocol, per LLC access:
+ *  - hit:  onHit(access, way)
+ *  - miss: victimWay(access, lines) -> way to evict, or ways (the
+ *          bypass sentinel) to skip insertion; if a way was returned,
+ *          onEvict(access, way, evicted_view) for a valid victim, then
+ *          onInsert(access, way).
+ */
+class ReplacementPolicy
+{
+  public:
+    virtual ~ReplacementPolicy() = default;
+
+    /** Policy name used in experiment tables. */
+    virtual std::string name() const = 0;
+
+    /** (Re)initialise all metadata for a cache of shape @p geom. */
+    virtual void reset(const CacheGeometry &geom) = 0;
+
+    /**
+     * Choose a victim for a miss in @p access.set.
+     * @param lines The set's ways in way order.
+     * @return way index in [0, ways), or ways to bypass the cache.
+     */
+    virtual std::uint32_t victimWay(const ReplacementAccess &access,
+                                    const std::vector<LineView> &lines)
+        = 0;
+
+    /** The access hit in @p way. */
+    virtual void onHit(const ReplacementAccess &access,
+                       std::uint32_t way) = 0;
+
+    /** A valid victim in @p way is being evicted for @p access. */
+    virtual void onEvict(const ReplacementAccess &access,
+                         std::uint32_t way, const LineView &victim) = 0;
+
+    /** The missing line is inserted into @p way. */
+    virtual void onInsert(const ReplacementAccess &access,
+                          std::uint32_t way) = 0;
+};
+
+} // namespace sim
+} // namespace glider
+
+#endif // GLIDER_CACHESIM_REPLACEMENT_HH

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Small integer-hashing helpers shared by predictor tables.
+ *
+ * Hardware predictor tables index by folded/hashed PCs; these helpers
+ * centralise the mixing functions so every table hashes consistently.
+ */
+
+#ifndef GLIDER_COMMON_HASH_HH
+#define GLIDER_COMMON_HASH_HH
+
+#include <cstdint>
+
+namespace glider {
+
+/** Strong 64-bit finalizer (splitmix64 / murmur3-style avalanche). */
+inline std::uint64_t
+mix64(std::uint64_t x)
+{
+    x ^= x >> 33;
+    x *= 0xFF51AFD7ED558CCDull;
+    x ^= x >> 33;
+    x *= 0xC4CEB9FE1A85EC53ull;
+    x ^= x >> 33;
+    return x;
+}
+
+/** Hash @p x down to @p bits bits (bits in [1, 64]). */
+inline std::uint64_t
+hashBits(std::uint64_t x, unsigned bits)
+{
+    return mix64(x) >> (64 - bits);
+}
+
+/** Hash @p x into [0, size). Intended for power-of-two and odd sizes. */
+inline std::uint64_t
+hashInto(std::uint64_t x, std::uint64_t size)
+{
+    return mix64(x) % size;
+}
+
+/** Combine two hash values (boost::hash_combine-style). */
+inline std::uint64_t
+hashCombine(std::uint64_t a, std::uint64_t b)
+{
+    return mix64(a ^ (b + 0x9E3779B97F4A7C15ull + (a << 6) + (a >> 2)));
+}
+
+} // namespace glider
+
+#endif // GLIDER_COMMON_HASH_HH

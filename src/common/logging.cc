@@ -1,0 +1,37 @@
+#include "logging.hh"
+
+namespace glider {
+namespace detail {
+
+void
+logMessage(LogLevel level, const char *file, int line,
+           const std::string &msg)
+{
+    const char *prefix = "info";
+    switch (level) {
+      case LogLevel::Inform: prefix = "info"; break;
+      case LogLevel::Warn:   prefix = "warn"; break;
+      case LogLevel::Fatal:  prefix = "fatal"; break;
+      case LogLevel::Panic:  prefix = "panic"; break;
+    }
+    std::fprintf(stderr, "%s: %s (%s:%d)\n", prefix, msg.c_str(), file,
+                 line);
+}
+
+} // namespace detail
+
+void
+panicImpl(const char *file, int line, const std::string &msg)
+{
+    detail::logMessage(LogLevel::Panic, file, line, msg);
+    std::abort();
+}
+
+void
+fatalImpl(const char *file, int line, const std::string &msg)
+{
+    detail::logMessage(LogLevel::Fatal, file, line, msg);
+    std::exit(1);
+}
+
+} // namespace glider

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Error and status reporting in the gem5 spirit: panic() for internal
+ * invariant violations, fatal() for unrecoverable user/configuration
+ * errors, warn()/inform() for status messages.
+ */
+
+#ifndef GLIDER_COMMON_LOGGING_HH
+#define GLIDER_COMMON_LOGGING_HH
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace glider {
+
+/** Severity levels used by the logging backend. */
+enum class LogLevel { Inform, Warn, Fatal, Panic };
+
+namespace detail {
+
+/** Print a formatted log line to stderr with a severity prefix. */
+void logMessage(LogLevel level, const char *file, int line,
+                const std::string &msg);
+
+} // namespace detail
+
+/**
+ * Abort the process because an internal invariant was violated.
+ * Use for conditions that indicate a bug in this library, never for
+ * user error.
+ */
+[[noreturn]] void panicImpl(const char *file, int line,
+                            const std::string &msg);
+
+/**
+ * Exit the process because of an unrecoverable user-facing error
+ * (bad configuration, invalid arguments).
+ */
+[[noreturn]] void fatalImpl(const char *file, int line,
+                            const std::string &msg);
+
+} // namespace glider
+
+#define GLIDER_PANIC(msg) ::glider::panicImpl(__FILE__, __LINE__, (msg))
+#define GLIDER_FATAL(msg) ::glider::fatalImpl(__FILE__, __LINE__, (msg))
+#define GLIDER_WARN(msg) \
+    ::glider::detail::logMessage(::glider::LogLevel::Warn, __FILE__, \
+                                 __LINE__, (msg))
+#define GLIDER_INFORM(msg) \
+    ::glider::detail::logMessage(::glider::LogLevel::Inform, __FILE__, \
+                                 __LINE__, (msg))
+
+/** Always-on assertion that panics (not UB) when violated. */
+#define GLIDER_ASSERT(cond) \
+    do { \
+        if (!(cond)) \
+            GLIDER_PANIC(std::string("assertion failed: ") + #cond); \
+    } while (0)
+
+#endif // GLIDER_COMMON_LOGGING_HH

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Bounded most-recently-used key tracker.
+ *
+ * Models small fully-associative LRU structures such as Glider's PC
+ * History Register (PCHR): a capacity-bounded set of unique keys where
+ * touching a key moves it to the MRU position and inserting into a full
+ * tracker evicts the LRU key.
+ */
+
+#ifndef GLIDER_COMMON_LRU_TRACKER_HH
+#define GLIDER_COMMON_LRU_TRACKER_HH
+
+#include <algorithm>
+#include <cstddef>
+#include <vector>
+
+#include "logging.hh"
+
+namespace glider {
+
+/**
+ * A tiny LRU set of unique keys. Linear scan is intentional: the
+ * hardware analogue holds ~5 entries, so a vector beats any node-based
+ * structure both in simulation speed and in fidelity to the CAM the
+ * hardware would use.
+ */
+template <typename Key>
+class LruTracker
+{
+  public:
+    /** @param capacity Maximum number of resident keys; must be > 0. */
+    explicit LruTracker(std::size_t capacity)
+        : capacity_(capacity)
+    {
+        GLIDER_ASSERT(capacity > 0);
+        entries_.reserve(capacity);
+    }
+
+    /**
+     * Touch @p key: insert it (evicting LRU if full) or refresh it to
+     * the MRU position if already present.
+     * @return true if the key was newly inserted.
+     */
+    bool
+    touch(const Key &key)
+    {
+        auto it = std::find(entries_.begin(), entries_.end(), key);
+        if (it != entries_.end()) {
+            // Rotate the found key to the back (MRU position).
+            std::rotate(it, it + 1, entries_.end());
+            return false;
+        }
+        if (entries_.size() == capacity_)
+            entries_.erase(entries_.begin());
+        entries_.push_back(key);
+        return true;
+    }
+
+    /** @return true if @p key is currently resident. */
+    bool
+    contains(const Key &key) const
+    {
+        return std::find(entries_.begin(), entries_.end(), key)
+            != entries_.end();
+    }
+
+    /** Resident keys in LRU→MRU order. */
+    const std::vector<Key> &entries() const { return entries_; }
+
+    std::size_t size() const { return entries_.size(); }
+    std::size_t capacity() const { return capacity_; }
+    bool empty() const { return entries_.empty(); }
+
+    /** Remove all resident keys. */
+    void clear() { entries_.clear(); }
+
+  private:
+    std::size_t capacity_;
+    std::vector<Key> entries_;
+};
+
+} // namespace glider
+
+#endif // GLIDER_COMMON_LRU_TRACKER_HH

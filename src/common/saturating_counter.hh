@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Saturating counter, the workhorse state element of hardware
+ * predictors (Hawkeye's per-PC counters, SHiP's SHCT, RRPV fields).
+ */
+
+#ifndef GLIDER_COMMON_SATURATING_COUNTER_HH
+#define GLIDER_COMMON_SATURATING_COUNTER_HH
+
+#include <cstdint>
+
+#include "logging.hh"
+
+namespace glider {
+
+/**
+ * An n-bit unsigned saturating counter. Increments stick at 2^bits - 1
+ * and decrements stick at 0, exactly like the hardware element.
+ */
+class SaturatingCounter
+{
+  public:
+    /**
+     * @param bits Width in bits (1..31).
+     * @param initial Initial value, clamped to the representable range.
+     */
+    explicit SaturatingCounter(unsigned bits = 2, std::uint32_t initial = 0)
+        : max_((1u << bits) - 1),
+          value_(initial > max_ ? max_ : initial)
+    {
+        GLIDER_ASSERT(bits >= 1 && bits <= 31);
+    }
+
+    /** Saturating increment. @return new value. */
+    std::uint32_t
+    increment()
+    {
+        if (value_ < max_)
+            ++value_;
+        return value_;
+    }
+
+    /** Saturating decrement. @return new value. */
+    std::uint32_t
+    decrement()
+    {
+        if (value_ > 0)
+            --value_;
+        return value_;
+    }
+
+    std::uint32_t value() const { return value_; }
+    std::uint32_t max() const { return max_; }
+    bool saturatedHigh() const { return value_ == max_; }
+    bool saturatedLow() const { return value_ == 0; }
+
+    /** True when the counter is in its upper half (MSB set). */
+    bool msb() const { return value_ > max_ / 2; }
+
+    /** Force a specific value (clamped). */
+    void
+    set(std::uint32_t v)
+    {
+        value_ = v > max_ ? max_ : v;
+    }
+
+  private:
+    std::uint32_t max_;
+    std::uint32_t value_;
+};
+
+} // namespace glider
+
+#endif // GLIDER_COMMON_SATURATING_COUNTER_HH

@@ -1,0 +1,217 @@
+/**
+ * @file
+ * The Glider predictor (§4.4, Figure 8): PCHR + ISVM table + adaptive
+ * training threshold, exposing the three-level prediction the
+ * replacement policy maps to insertion RRPVs 0 / 2 / 7.
+ */
+
+#ifndef GLIDER_CORE_GLIDER_PREDICTOR_HH
+#define GLIDER_CORE_GLIDER_PREDICTOR_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "isvm.hh"
+#include "pc_history_register.hh"
+
+namespace glider {
+namespace core {
+
+/** Configuration knobs of the Glider predictor. */
+struct GliderConfig
+{
+    std::size_t pchr_size = 5;      //!< k unique PCs (paper: 5)
+    std::size_t isvm_entries = 2048; //!< tracked PCs
+    int confidence_threshold = 60;  //!< §4.4 prediction threshold
+    bool adaptive_threshold = true; //!< dynamic training threshold
+    int fixed_threshold = 30;       //!< used when adaptive is off
+};
+
+/**
+ * Dynamic selection among the paper's fixed training-threshold set
+ * {0, 30, 100, 300, 3000}. The paper does not spell out the
+ * mechanism; we use epoch-based explore/exploit: each candidate is
+ * trialled for one epoch of training events while its training
+ * accuracy is measured, then the best candidate is used for a longer
+ * exploitation phase before re-trialling. Deterministic.
+ */
+class AdaptiveThreshold
+{
+  public:
+    /** Candidate thresholds from §4.4. */
+    static constexpr int kCandidates[5] = {0, 30, 100, 300, 3000};
+
+    /** Current training threshold. */
+    int current() const { return kCandidates[active_]; }
+
+    /** Record one training event's correctness and advance epochs. */
+    void
+    record(bool prediction_correct)
+    {
+        if (prediction_correct)
+            ++correct_;
+        ++events_;
+        if (events_ < epochLength())
+            return;
+        // Epoch boundary: bank this candidate's accuracy.
+        accuracy_[active_] =
+            static_cast<double>(correct_) / static_cast<double>(events_);
+        events_ = 0;
+        correct_ = 0;
+        if (exploring_) {
+            if (++active_ >= 5) {
+                // Trials done: exploit the best candidate.
+                exploring_ = false;
+                active_ = bestCandidate();
+                exploit_epochs_left_ = kExploitEpochs;
+            }
+        } else if (--exploit_epochs_left_ == 0) {
+            exploring_ = true;
+            active_ = 0;
+        }
+    }
+
+  private:
+    static constexpr std::uint64_t kTrialEpoch = 512;
+    static constexpr std::uint64_t kExploitEpochs = 64;
+
+    std::uint64_t
+    epochLength() const
+    {
+        return exploring_ ? kTrialEpoch : kTrialEpoch;
+    }
+
+    std::size_t
+    bestCandidate() const
+    {
+        std::size_t best = 0;
+        for (std::size_t i = 1; i < 5; ++i) {
+            if (accuracy_[i] > accuracy_[best])
+                best = i;
+        }
+        return best;
+    }
+
+    std::size_t active_ = 0;
+    bool exploring_ = true;
+    std::uint64_t events_ = 0;
+    std::uint64_t correct_ = 0;
+    std::uint64_t exploit_epochs_left_ = 0;
+    double accuracy_[5] = {0, 0, 0, 0, 0};
+};
+
+/** Three-level caching prediction (maps to RRPV 0 / 2 / 7). */
+enum class GliderPrediction { FriendlyHigh, FriendlyLow, Averse };
+
+/** The complete Glider predictor of Figure 8. */
+class GliderPredictor
+{
+  public:
+    explicit GliderPredictor(const GliderConfig &config = GliderConfig(),
+                             unsigned cores = 1)
+        : config_(config), table_(config.isvm_entries),
+          pchr_(cores, PcHistoryRegister(config.pchr_size))
+    {
+    }
+
+    /**
+     * Observe an access: the PC enters the core's PCHR. Call once per
+     * LLC access, *after* predicting/snapshotting for that access.
+     */
+    void
+    observe(std::uint64_t pc, std::uint8_t core = 0)
+    {
+        pchr_[core].observe(pc);
+    }
+
+    /** PCHR snapshot used as the feature for the current access. */
+    opt::PcHistory
+    history(std::uint8_t core = 0) const
+    {
+        return pchr_[core].snapshot();
+    }
+
+    /** Raw decision sum for (pc, PCHR of core). */
+    int
+    decisionSum(std::uint64_t pc, std::uint8_t core = 0) const
+    {
+        return table_.forPc(pc, core).predict(pchr_[core].snapshot());
+    }
+
+    /** Raw decision sum for (pc, explicit history snapshot). */
+    int
+    decisionSumWith(std::uint64_t pc, const opt::PcHistory &history,
+                    std::uint8_t core = 0) const
+    {
+        return table_.forPc(pc, core).predict(history);
+    }
+
+    /** Map a decision sum to the three-level prediction of §4.4. */
+    GliderPrediction
+    classify(int sum) const
+    {
+        if (sum >= config_.confidence_threshold)
+            return GliderPrediction::FriendlyHigh;
+        if (sum < 0)
+            return GliderPrediction::Averse;
+        return GliderPrediction::FriendlyLow;
+    }
+
+    /** Three-level prediction against the core's live PCHR. */
+    GliderPrediction
+    predict(std::uint64_t pc, std::uint8_t core = 0) const
+    {
+        return classify(decisionSum(pc, core));
+    }
+
+    /** Three-level prediction against an explicit history snapshot. */
+    GliderPrediction
+    predictWith(std::uint64_t pc, const opt::PcHistory &history,
+                std::uint8_t core = 0) const
+    {
+        return classify(decisionSumWith(pc, history, core));
+    }
+
+    /**
+     * Train from an OPTgen label: the access at which @p history was
+     * captured, issued by @p pc, should (@p opt_hit) or should not
+     * have been cached.
+     */
+    void
+    train(std::uint64_t pc, std::uint8_t core,
+          const opt::PcHistory &history, bool opt_hit)
+    {
+        Isvm &isvm = table_.forPc(pc, core);
+        bool was_friendly = isvm.predict(history) >= 0;
+        int threshold = config_.adaptive_threshold
+            ? adaptive_.current()
+            : config_.fixed_threshold;
+        isvm.train(history, opt_hit, threshold);
+        if (config_.adaptive_threshold)
+            adaptive_.record(was_friendly == opt_hit);
+    }
+
+    const GliderConfig &config() const { return config_; }
+    const IsvmTable &table() const { return table_; }
+
+    /** Total predictor storage in bytes (Table 3). */
+    std::size_t
+    storageBytes() const
+    {
+        // ISVM table + one PCHR per core (k PCs at ~2 bytes of
+        // hashed state each, §5.4 charges 0.1KB for the PCHR).
+        return table_.storageBytes()
+            + pchr_.size() * config_.pchr_size * sizeof(std::uint16_t);
+    }
+
+  private:
+    GliderConfig config_;
+    IsvmTable table_;
+    std::vector<PcHistoryRegister> pchr_;
+    AdaptiveThreshold adaptive_;
+};
+
+} // namespace core
+} // namespace glider
+
+#endif // GLIDER_CORE_GLIDER_PREDICTOR_HH

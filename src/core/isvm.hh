@@ -1,0 +1,126 @@
+/**
+ * @file
+ * The Integer Support Vector Machine of §4.3/§4.4.
+ *
+ * Each tracked PC owns one ISVM of 16 signed 8-bit weights. A
+ * prediction sums the weights selected by 4-bit hashes of the PCHR
+ * contents; training applies the integer perceptron/hinge update
+ * (±1 with a no-update threshold), which — per Fact 1 of §4.3 — is
+ * exactly gradient descent on the hinge loss with learning rate 1/n
+ * rescaled to integer arithmetic.
+ */
+
+#ifndef GLIDER_CORE_ISVM_HH
+#define GLIDER_CORE_ISVM_HH
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "common/hash.hh"
+#include "opt/optgen.hh"
+
+namespace glider {
+namespace core {
+
+/** One PC's integer SVM: 16 weights indexed by hashed history PCs. */
+class Isvm
+{
+  public:
+    static constexpr std::size_t kWeights = 16;
+    static constexpr int kWeightMax = 127; //!< 8-bit signed weights
+    static constexpr int kWeightMin = -128;
+
+    /** 4-bit hash selecting the weight slot for a history PC. */
+    static std::uint32_t
+    slotOf(std::uint64_t history_pc)
+    {
+        return static_cast<std::uint32_t>(hashBits(history_pc, 4));
+    }
+
+    /** Sum of the weights selected by @p history. */
+    int
+    predict(const opt::PcHistory &history) const
+    {
+        int sum = 0;
+        for (auto pc : history)
+            sum += weights_[slotOf(pc)];
+        return sum;
+    }
+
+    /**
+     * Integer hinge/perceptron update: move the selected weights
+     * toward @p positive by 1, unless the current decision sum is
+     * already confidently beyond @p threshold on the correct side
+     * (the "do not update when above threshold" rule of §4.4).
+     */
+    void
+    train(const opt::PcHistory &history, bool positive, int threshold)
+    {
+        int sum = predict(history);
+        if (positive && sum > threshold)
+            return;
+        if (!positive && sum < -threshold)
+            return;
+        for (auto pc : history) {
+            int &w = weights_[slotOf(pc)];
+            w += positive ? 1 : -1;
+            if (w > kWeightMax)
+                w = kWeightMax;
+            if (w < kWeightMin)
+                w = kWeightMin;
+        }
+    }
+
+    const std::array<int, kWeights> &weights() const { return weights_; }
+
+  private:
+    std::array<int, kWeights> weights_{};
+};
+
+/**
+ * The ISVM Table of Figure 8: a direct-mapped structure holding one
+ * ISVM per tracked PC (2048 PCs, hash-indexed).
+ */
+class IsvmTable
+{
+  public:
+    explicit IsvmTable(std::size_t entries = 2048) : table_(entries) {}
+
+    /** ISVM owned by (pc, core); core folds into the index hash. */
+    Isvm &
+    forPc(std::uint64_t pc, std::uint8_t core = 0)
+    {
+        return table_[indexOf(pc, core)];
+    }
+
+    const Isvm &
+    forPc(std::uint64_t pc, std::uint8_t core = 0) const
+    {
+        return table_[indexOf(pc, core)];
+    }
+
+    std::size_t entries() const { return table_.size(); }
+
+    /** Hardware budget of the table in bytes (Table 3 bookkeeping). */
+    std::size_t
+    storageBytes() const
+    {
+        return table_.size() * Isvm::kWeights; // 8-bit weights
+    }
+
+  private:
+    std::size_t
+    indexOf(std::uint64_t pc, std::uint8_t core) const
+    {
+        return static_cast<std::size_t>(
+            hashInto(hashCombine(pc, core), table_.size()));
+    }
+
+    std::vector<Isvm> table_;
+};
+
+} // namespace core
+} // namespace glider
+
+#endif // GLIDER_CORE_ISVM_HH

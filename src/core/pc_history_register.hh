@@ -1,0 +1,60 @@
+/**
+ * @file
+ * The PC History Register (PCHR), §4.4: an unordered set of the last
+ * k unique PCs seen by a core, modelled — as the paper specifies — as
+ * a small LRU cache of PCs. The unordered-unique representation is
+ * the heart of Glider's k-sparse feature: it captures an effective
+ * control-flow history of ~30 PCs in only k = 5 elements, because
+ * duplicates are collapsed and ordering is discarded (Observations
+ * 1–3 of §4.2).
+ */
+
+#ifndef GLIDER_CORE_PC_HISTORY_REGISTER_HH
+#define GLIDER_CORE_PC_HISTORY_REGISTER_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/lru_tracker.hh"
+#include "opt/optgen.hh"
+
+namespace glider {
+namespace core {
+
+/** Unordered last-k-unique-PC register (one per core). */
+class PcHistoryRegister
+{
+  public:
+    /** @param k Number of unique PCs retained (paper default 5). */
+    explicit PcHistoryRegister(std::size_t k = 5) : tracker_(k) {}
+
+    /** Observe one access: PC enters (or refreshes) the register. */
+    void observe(std::uint64_t pc) { tracker_.touch(pc); }
+
+    /**
+     * Current contents as a feature snapshot. Order within the
+     * returned vector carries no meaning to the predictor.
+     */
+    opt::PcHistory
+    snapshot() const
+    {
+        return tracker_.entries();
+    }
+
+    bool contains(std::uint64_t pc) const
+    {
+        return tracker_.contains(pc);
+    }
+
+    std::size_t size() const { return tracker_.size(); }
+    std::size_t capacity() const { return tracker_.capacity(); }
+    void clear() { tracker_.clear(); }
+
+  private:
+    LruTracker<std::uint64_t> tracker_;
+};
+
+} // namespace core
+} // namespace glider
+
+#endif // GLIDER_CORE_PC_HISTORY_REGISTER_HH

@@ -1,0 +1,58 @@
+#include "policy_factory.hh"
+
+#include "common/logging.hh"
+#include "glider_policy.hh"
+#include "policies/hawkeye.hh"
+#include "policies/lru.hh"
+#include "policies/mpppb.hh"
+#include "policies/random.hh"
+#include "policies/rrip.hh"
+#include "policies/sdbp.hh"
+#include "policies/ship.hh"
+
+namespace glider {
+namespace core {
+
+std::vector<std::string>
+policyNames()
+{
+    return {"LRU",   "Random", "SRRIP", "BRRIP",   "DRRIP",  "SDBP",
+            "SHiP",  "SHiP++", "MPPPB", "Hawkeye", "Glider"};
+}
+
+std::vector<std::string>
+paperLineup()
+{
+    return {"Hawkeye", "MPPPB", "SHiP++", "Glider"};
+}
+
+std::unique_ptr<sim::ReplacementPolicy>
+makePolicy(const std::string &name)
+{
+    if (name == "LRU")
+        return std::make_unique<policies::LruPolicy>();
+    if (name == "Random")
+        return std::make_unique<policies::RandomPolicy>();
+    if (name == "SRRIP")
+        return std::make_unique<policies::SrripPolicy>();
+    if (name == "BRRIP")
+        return std::make_unique<policies::BrripPolicy>();
+    if (name == "DRRIP")
+        return std::make_unique<policies::DrripPolicy>();
+    if (name == "SDBP")
+        return std::make_unique<policies::SdbpPolicy>();
+    if (name == "SHiP")
+        return std::make_unique<policies::ShipPolicy>();
+    if (name == "SHiP++")
+        return std::make_unique<policies::ShipPPPolicy>();
+    if (name == "MPPPB")
+        return std::make_unique<policies::MpppbPolicy>();
+    if (name == "Hawkeye")
+        return std::make_unique<policies::HawkeyePolicy>();
+    if (name == "Glider")
+        return std::make_unique<GliderPolicy>();
+    GLIDER_FATAL("unknown policy: " + name);
+}
+
+} // namespace core
+} // namespace glider

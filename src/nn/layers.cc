@@ -1,0 +1,106 @@
+#include "layers.hh"
+
+#include <cmath>
+
+namespace glider {
+namespace nn {
+
+namespace {
+
+float
+sigmoid(float x)
+{
+    return 1.0f / (1.0f + std::exp(-x));
+}
+
+} // namespace
+
+LstmCell::LstmCell(std::size_t in_dim, std::size_t hidden, Rng &rng)
+    : in_dim_(in_dim), hidden_(hidden),
+      wx_(Tensor::xavier(4 * hidden, in_dim, rng)),
+      wh_(Tensor::xavier(4 * hidden, hidden, rng)),
+      b_(Tensor(1, 4 * hidden))
+{
+    // Forget-gate bias at 1 so early training does not forget
+    // everything (slot order: [i, f, g, o]).
+    for (std::size_t j = 0; j < hidden; ++j)
+        b_.value.data()[hidden + j] = 1.0f;
+}
+
+void
+LstmCell::forwardStep(const float *x, const float *h_prev,
+                      const float *c_prev, float *h, float *c,
+                      LstmStepCache &cache) const
+{
+    std::size_t H = hidden_;
+    cache.x.assign(x, x + in_dim_);
+    cache.h_prev.assign(h_prev, h_prev + H);
+    cache.c_prev.assign(c_prev, c_prev + H);
+    cache.gates.assign(4 * H, 0.0f);
+    cache.c.assign(H, 0.0f);
+    cache.tanh_c.assign(H, 0.0f);
+
+    float *pre = cache.gates.data();
+    for (std::size_t j = 0; j < 4 * H; ++j)
+        pre[j] = b_.value.data()[j];
+    matvecAccum(wx_.value, x, pre);
+    matvecAccum(wh_.value, h_prev, pre);
+
+    for (std::size_t j = 0; j < H; ++j) {
+        float i_g = sigmoid(pre[j]);
+        float f_g = sigmoid(pre[H + j]);
+        float g_g = std::tanh(pre[2 * H + j]);
+        float o_g = sigmoid(pre[3 * H + j]);
+        pre[j] = i_g;
+        pre[H + j] = f_g;
+        pre[2 * H + j] = g_g;
+        pre[3 * H + j] = o_g;
+        float cj = f_g * c_prev[j] + i_g * g_g;
+        cache.c[j] = cj;
+        float tc = std::tanh(cj);
+        cache.tanh_c[j] = tc;
+        c[j] = cj;
+        h[j] = o_g * tc;
+    }
+}
+
+void
+LstmCell::backwardStep(const LstmStepCache &cache, const float *dh,
+                       float *dc, float *dx, float *dh_prev)
+{
+    std::size_t H = hidden_;
+    const float *g = cache.gates.data();
+    std::vector<float> dpre(4 * H, 0.0f);
+
+    for (std::size_t j = 0; j < H; ++j) {
+        float i_g = g[j];
+        float f_g = g[H + j];
+        float g_g = g[2 * H + j];
+        float o_g = g[3 * H + j];
+        float tc = cache.tanh_c[j];
+
+        // h = o * tanh(c): fold dh into the cell-state chain.
+        float dcj = dc[j] + dh[j] * o_g * (1.0f - tc * tc);
+        float do_g = dh[j] * tc;
+
+        float di_g = dcj * g_g;
+        float df_g = dcj * cache.c_prev[j];
+        float dg_g = dcj * i_g;
+        dc[j] = dcj * f_g; // becomes d c_prev
+
+        // Through the gate nonlinearities (sigmoid / tanh).
+        dpre[j] = di_g * i_g * (1.0f - i_g);
+        dpre[H + j] = df_g * f_g * (1.0f - f_g);
+        dpre[2 * H + j] = dg_g * (1.0f - g_g * g_g);
+        dpre[3 * H + j] = do_g * o_g * (1.0f - o_g);
+    }
+
+    matvecBackward(wx_.value, cache.x.data(), dpre.data(), wx_.grad, dx);
+    matvecBackward(wh_.value, cache.h_prev.data(), dpre.data(), wh_.grad,
+                   dh_prev);
+    for (std::size_t j = 0; j < 4 * H; ++j)
+        b_.grad.data()[j] += dpre[j];
+}
+
+} // namespace nn
+} // namespace glider

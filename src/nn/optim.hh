@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Optimizers for the offline models: plain SGD and Adam (the paper's
+ * Table 5 optimizer, lr 0.001).
+ */
+
+#ifndef GLIDER_NN_OPTIM_HH
+#define GLIDER_NN_OPTIM_HH
+
+#include <cmath>
+#include <unordered_map>
+#include <vector>
+
+#include "tensor.hh"
+
+namespace glider {
+namespace nn {
+
+/** Optimizer interface: consume gradients, update values. */
+class Optimizer
+{
+  public:
+    virtual ~Optimizer() = default;
+
+    /** Apply one update from the accumulated grads, then zero them. */
+    virtual void step(const std::vector<Param *> &params) = 0;
+};
+
+/** Stochastic gradient descent. */
+class Sgd : public Optimizer
+{
+  public:
+    explicit Sgd(float lr) : lr_(lr) {}
+
+    void
+    step(const std::vector<Param *> &params) override
+    {
+        for (Param *p : params) {
+            float *v = p->value.data();
+            float *g = p->grad.data();
+            for (std::size_t i = 0; i < p->value.size(); ++i)
+                v[i] -= lr_ * g[i];
+            p->zeroGrad();
+        }
+    }
+
+  private:
+    float lr_;
+};
+
+/** Adam (Kingma & Ba) with bias correction. */
+class Adam : public Optimizer
+{
+  public:
+    explicit Adam(float lr = 0.001f, float beta1 = 0.9f,
+                  float beta2 = 0.999f, float eps = 1e-8f)
+        : lr_(lr), beta1_(beta1), beta2_(beta2), eps_(eps)
+    {
+    }
+
+    void
+    step(const std::vector<Param *> &params) override
+    {
+        ++t_;
+        float bc1 = 1.0f - std::pow(beta1_, static_cast<float>(t_));
+        float bc2 = 1.0f - std::pow(beta2_, static_cast<float>(t_));
+        for (Param *p : params) {
+            State &s = state_[p];
+            if (s.m.size() != p->value.size()) {
+                s.m.assign(p->value.size(), 0.0f);
+                s.v.assign(p->value.size(), 0.0f);
+            }
+            float *val = p->value.data();
+            float *g = p->grad.data();
+            for (std::size_t i = 0; i < p->value.size(); ++i) {
+                s.m[i] = beta1_ * s.m[i] + (1.0f - beta1_) * g[i];
+                s.v[i] = beta2_ * s.v[i] + (1.0f - beta2_) * g[i] * g[i];
+                float mhat = s.m[i] / bc1;
+                float vhat = s.v[i] / bc2;
+                val[i] -= lr_ * mhat / (std::sqrt(vhat) + eps_);
+            }
+            p->zeroGrad();
+        }
+    }
+
+  private:
+    struct State
+    {
+        std::vector<float> m;
+        std::vector<float> v;
+    };
+
+    float lr_;
+    float beta1_;
+    float beta2_;
+    float eps_;
+    std::uint64_t t_ = 0;
+    std::unordered_map<Param *, State> state_;
+};
+
+/** Binary cross-entropy on a single logit. @return loss. */
+inline float
+bceWithLogit(float logit, bool label, float &dlogit)
+{
+    float p = 1.0f / (1.0f + std::exp(-logit));
+    dlogit = p - (label ? 1.0f : 0.0f);
+    float eps = 1e-7f;
+    return label ? -std::log(p + eps) : -std::log(1.0f - p + eps);
+}
+
+} // namespace nn
+} // namespace glider
+
+#endif // GLIDER_NN_OPTIM_HH

@@ -1,0 +1,67 @@
+#include "tensor.hh"
+
+#include <algorithm>
+#include <cmath>
+
+namespace glider {
+namespace nn {
+
+void
+matvecAccum(const Tensor &w, const float *x, float *y)
+{
+    std::size_t m = w.rows();
+    std::size_t n = w.cols();
+    for (std::size_t i = 0; i < m; ++i) {
+        const float *wi = w.row(i);
+        float acc = 0.0f;
+        for (std::size_t j = 0; j < n; ++j)
+            acc += wi[j] * x[j];
+        y[i] += acc;
+    }
+}
+
+void
+matvecBackward(const Tensor &w, const float *x, const float *dy,
+               Tensor &dw, float *dx)
+{
+    std::size_t m = w.rows();
+    std::size_t n = w.cols();
+    GLIDER_ASSERT(dw.rows() == m && dw.cols() == n);
+    for (std::size_t i = 0; i < m; ++i) {
+        const float *wi = w.row(i);
+        float *dwi = dw.row(i);
+        float g = dy[i];
+        for (std::size_t j = 0; j < n; ++j) {
+            dwi[j] += g * x[j];
+            if (dx)
+                dx[j] += g * wi[j];
+        }
+    }
+}
+
+float
+dot(const float *a, const float *b, std::size_t n)
+{
+    float acc = 0.0f;
+    for (std::size_t i = 0; i < n; ++i)
+        acc += a[i] * b[i];
+    return acc;
+}
+
+void
+softmaxInPlace(float *x, std::size_t n)
+{
+    if (n == 0)
+        return;
+    float mx = *std::max_element(x, x + n);
+    float sum = 0.0f;
+    for (std::size_t i = 0; i < n; ++i) {
+        x[i] = std::exp(x[i] - mx);
+        sum += x[i];
+    }
+    for (std::size_t i = 0; i < n; ++i)
+        x[i] /= sum;
+}
+
+} // namespace nn
+} // namespace glider

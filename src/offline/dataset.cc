@@ -1,0 +1,53 @@
+#include "dataset.hh"
+
+#include "cachesim/cache_config.hh"
+#include "common/logging.hh"
+#include "opt/belady.hh"
+#include "opt/llc_stream.hh"
+
+namespace glider {
+namespace offline {
+
+OfflineDataset
+buildDataset(const traces::Trace &cpu_trace, double split)
+{
+    GLIDER_ASSERT(split > 0.0 && split < 1.0);
+    sim::HierarchyConfig cfg;
+    traces::Trace llc = opt::extractLlcStream(cpu_trace, cfg);
+    opt::BeladyResult belady = opt::simulateBelady(
+        llc, cfg.llc.sets(), cfg.llc.ways);
+
+    OfflineDataset ds;
+    ds.accesses.reserve(llc.size());
+    ds.opt_hit_rate = belady.hitRate();
+
+    std::unordered_map<std::uint64_t, std::uint32_t> pc_ids;
+    for (std::size_t i = 0; i < llc.size(); ++i) {
+        auto [it, fresh] = pc_ids.try_emplace(
+            llc[i].pc, static_cast<std::uint32_t>(ds.id_to_pc.size()));
+        if (fresh)
+            ds.id_to_pc.push_back(llc[i].pc);
+        ds.accesses.push_back(
+            LabeledAccess{it->second, belady.labels[i]});
+    }
+    ds.train_end = static_cast<std::size_t>(
+        split * static_cast<double>(ds.accesses.size()));
+    return ds;
+}
+
+double
+majorityBaseline(const OfflineDataset &ds)
+{
+    auto [lo, hi] = ds.testRange();
+    if (lo == hi)
+        return 0.0;
+    std::size_t ones = 0;
+    for (std::size_t i = lo; i < hi; ++i)
+        ones += ds.accesses[i].label;
+    double frac = static_cast<double>(ones)
+        / static_cast<double>(hi - lo);
+    return frac > 0.5 ? frac : 1.0 - frac;
+}
+
+} // namespace offline
+} // namespace glider

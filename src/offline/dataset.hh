@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Offline dataset construction (§5.1 "Settings for Offline
+ * Evaluation"): run a workload trace through L1/L2 to get the LLC
+ * access stream, label every access with Belady's decision, map PCs
+ * to a dense vocabulary, and split 75%/25% train/test in stream
+ * order.
+ */
+
+#ifndef GLIDER_OFFLINE_DATASET_HH
+#define GLIDER_OFFLINE_DATASET_HH
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "traces/trace.hh"
+
+namespace glider {
+namespace offline {
+
+/** One labelled LLC access. */
+struct LabeledAccess
+{
+    std::uint32_t pc_id = 0; //!< dense vocabulary id
+    std::uint8_t label = 0;  //!< 1 = OPT caches it (cache-friendly)
+};
+
+/** A labelled LLC stream with its PC vocabulary and split point. */
+struct OfflineDataset
+{
+    std::vector<LabeledAccess> accesses; //!< full stream, in order
+    std::size_t train_end = 0;           //!< accesses[0, train_end)
+    std::vector<std::uint64_t> id_to_pc; //!< vocabulary
+    double opt_hit_rate = 0.0;           //!< MIN hit rate on the stream
+
+    std::size_t vocab() const { return id_to_pc.size(); }
+
+    /** Train portion view. */
+    std::pair<std::size_t, std::size_t>
+    trainRange() const
+    {
+        return {0, train_end};
+    }
+
+    /** Test portion view. */
+    std::pair<std::size_t, std::size_t>
+    testRange() const
+    {
+        return {train_end, accesses.size()};
+    }
+};
+
+/**
+ * Build the offline dataset for @p cpu_trace with the Table 1
+ * geometry (labels from exact Belady MIN on the LLC stream).
+ * @param split Train fraction (paper: 0.75).
+ */
+OfflineDataset buildDataset(const traces::Trace &cpu_trace,
+                            double split = 0.75);
+
+/**
+ * Fraction of accesses whose label matches the majority label —
+ * the accuracy a constant predictor would get; useful context for
+ * interpreting model accuracies.
+ */
+double majorityBaseline(const OfflineDataset &ds);
+
+} // namespace offline
+} // namespace glider
+
+#endif // GLIDER_OFFLINE_DATASET_HH

@@ -1,0 +1,327 @@
+#include "lstm_model.hh"
+
+#include <algorithm>
+#include <map>
+
+#include "common/logging.hh"
+
+namespace glider {
+namespace offline {
+
+/** Reusable per-slice buffers (avoids re-allocating every slice). */
+struct AttentionLstmModel::Workspace
+{
+    std::vector<std::vector<float>> h;  //!< T x H hidden states
+    std::vector<std::vector<float>> c;  //!< T x H cell states
+    std::vector<nn::LstmStepCache> lstm_cache;
+    std::vector<std::vector<float>> dh; //!< T x H hidden grads
+
+    struct TargetCache
+    {
+        std::size_t t = 0;
+        nn::AttentionCache attn;
+        std::vector<float> ctx;
+        std::vector<float> z; //!< [ctx ; h_t]
+        float dlogit = 0.0f;
+    };
+    std::vector<TargetCache> targets;
+};
+
+AttentionLstmModel::AttentionLstmModel(std::size_t vocab,
+                                       const LstmConfig &config)
+    : vocab_(vocab), config_(config), rng_(config.seed),
+      embed_(vocab, config.embedding, rng_),
+      lstm_(config.embedding, config.hidden, rng_),
+      attention_(config.attention_scale),
+      output_(2 * config.hidden, 1, rng_), adam_(config.lr),
+      ws_(std::make_unique<Workspace>())
+{
+    GLIDER_ASSERT(vocab >= 1);
+    GLIDER_ASSERT(config.seq_n >= 1);
+}
+
+AttentionLstmModel::~AttentionLstmModel() = default;
+
+std::size_t
+AttentionLstmModel::parameterCount() const
+{
+    std::size_t e = vocab_ * config_.embedding;
+    std::size_t h = config_.hidden;
+    std::size_t lstm = 4 * h * config_.embedding + 4 * h * h + 4 * h;
+    std::size_t out = 2 * h + 1;
+    return e + lstm + out;
+}
+
+std::vector<std::size_t>
+AttentionLstmModel::sliceStarts(std::size_t lo, std::size_t hi) const
+{
+    std::size_t T = 2 * config_.seq_n;
+    std::vector<std::size_t> starts;
+    if (hi < lo + T)
+        return starts;
+    for (std::size_t s = lo; s + T <= hi; s += config_.seq_n)
+        starts.push_back(s);
+    return starts;
+}
+
+std::size_t
+AttentionLstmModel::runSlice(const OfflineDataset &ds, std::size_t start,
+                             bool train, std::size_t &scored,
+                             std::vector<AttentionRecord> *capture,
+                             std::size_t slice_index,
+                             const std::vector<std::uint32_t>
+                                 *id_override)
+{
+    const std::size_t N = config_.seq_n;
+    const std::size_t T = 2 * N;
+    const std::size_t H = config_.hidden;
+    Workspace &ws = *ws_;
+
+    auto idAt = [&](std::size_t j) {
+        return id_override ? (*id_override)[j]
+                           : ds.accesses[start + j].pc_id;
+    };
+
+    // --- Forward: embedding + LSTM over the whole slice.
+    if (ws.h.size() != T) {
+        ws.h.assign(T, std::vector<float>(H, 0.0f));
+        ws.c.assign(T, std::vector<float>(H, 0.0f));
+        ws.lstm_cache.assign(T, nn::LstmStepCache{});
+        ws.dh.assign(T, std::vector<float>(H, 0.0f));
+    }
+    std::vector<float> zeros(H, 0.0f);
+    for (std::size_t t = 0; t < T; ++t) {
+        const float *x = embed_.forward(idAt(t));
+        const float *h_prev = t ? ws.h[t - 1].data() : zeros.data();
+        const float *c_prev = t ? ws.c[t - 1].data() : zeros.data();
+        lstm_.forwardStep(x, h_prev, c_prev, ws.h[t].data(),
+                          ws.c[t].data(), ws.lstm_cache[t]);
+    }
+
+    // --- Attention + output for each scored target.
+    // The shuffled-history protocol (Figure 6) scores only the final
+    // position; normal runs score the whole second half.
+    std::size_t first_target = id_override ? T - 1 : N;
+    std::size_t correct = 0;
+    scored = 0;
+    ws.targets.clear();
+    for (std::size_t t = first_target; t < T; ++t) {
+        Workspace::TargetCache tc;
+        tc.t = t;
+        std::vector<const float *> sources;
+        sources.reserve(t);
+        for (std::size_t s = 0; s < t; ++s)
+            sources.push_back(ws.h[s].data());
+        tc.ctx.assign(H, 0.0f);
+        attention_.forward(sources, ws.h[t].data(), H, tc.ctx.data(),
+                           tc.attn);
+        tc.z.assign(2 * H, 0.0f);
+        std::copy(tc.ctx.begin(), tc.ctx.end(), tc.z.begin());
+        std::copy(ws.h[t].begin(), ws.h[t].end(), tc.z.begin() + H);
+        float logit = 0.0f;
+        output_.forward(tc.z.data(), &logit);
+
+        bool label = ds.accesses[start + t].label != 0;
+        bool pred = logit >= 0.0f;
+        ++scored;
+        bool right = pred == label;
+        correct += right;
+
+        if (capture) {
+            AttentionRecord rec;
+            rec.slice = slice_index;
+            rec.target = t;
+            rec.target_pc = idAt(t);
+            rec.weights = tc.attn.weights;
+            rec.source_pcs.reserve(t);
+            for (std::size_t s = 0; s < t; ++s)
+                rec.source_pcs.push_back(idAt(s));
+            rec.correct = right;
+            capture->push_back(std::move(rec));
+        }
+
+        if (train) {
+            nn::bceWithLogit(logit, label, tc.dlogit);
+            ws.targets.push_back(std::move(tc));
+        }
+    }
+
+    if (!train)
+        return correct;
+
+    // --- Backward.
+    for (auto &row : ws.dh)
+        std::fill(row.begin(), row.end(), 0.0f);
+
+    std::vector<float> dz(2 * H, 0.0f);
+    for (auto &tc : ws.targets) {
+        std::fill(dz.begin(), dz.end(), 0.0f);
+        output_.backward(tc.z.data(), &tc.dlogit, dz.data());
+        // Split dz back into d_context and d_hidden.
+        std::vector<const float *> sources;
+        std::vector<float *> d_sources;
+        sources.reserve(tc.t);
+        d_sources.reserve(tc.t);
+        for (std::size_t s = 0; s < tc.t; ++s) {
+            sources.push_back(ws.h[s].data());
+            d_sources.push_back(ws.dh[s].data());
+        }
+        attention_.backward(sources, ws.h[tc.t].data(), H, dz.data(),
+                            tc.attn, d_sources, ws.dh[tc.t].data());
+        for (std::size_t j = 0; j < H; ++j)
+            ws.dh[tc.t][j] += dz[H + j];
+    }
+
+    // Backward through time.
+    std::vector<float> dc(H, 0.0f);
+    std::vector<float> dh_carry(H, 0.0f);
+    std::vector<float> dh_prev(H, 0.0f);
+    std::vector<float> dx(config_.embedding, 0.0f);
+    for (std::size_t t = T; t-- > 0;) {
+        std::vector<float> dh_total(H);
+        for (std::size_t j = 0; j < H; ++j)
+            dh_total[j] = ws.dh[t][j] + dh_carry[j];
+        std::fill(dh_prev.begin(), dh_prev.end(), 0.0f);
+        std::fill(dx.begin(), dx.end(), 0.0f);
+        lstm_.backwardStep(ws.lstm_cache[t], dh_total.data(), dc.data(),
+                           dx.data(), dh_prev.data());
+        embed_.backward(idAt(t), dx.data());
+        dh_carry = dh_prev;
+    }
+
+    std::vector<nn::Param *> params;
+    for (auto *p : embed_.params())
+        params.push_back(p);
+    for (auto *p : lstm_.params())
+        params.push_back(p);
+    for (auto *p : output_.params())
+        params.push_back(p);
+    adam_.step(params);
+    return correct;
+}
+
+void
+AttentionLstmModel::trainEpoch(const OfflineDataset &ds)
+{
+    auto [lo, hi] = ds.trainRange();
+    auto starts = sliceStarts(lo, hi);
+    // Budget: spread the sampled slices evenly over the train range.
+    std::size_t budget = config_.max_train_slices;
+    std::size_t stride =
+        starts.size() > budget ? starts.size() / budget : 1;
+    for (std::size_t i = 0; i < starts.size(); i += stride) {
+        std::size_t scored = 0;
+        runSlice(ds, starts[i], true, scored, nullptr, i, nullptr);
+    }
+}
+
+double
+AttentionLstmModel::evaluate(const OfflineDataset &ds)
+{
+    auto [lo, hi] = ds.testRange();
+    auto starts = sliceStarts(lo, hi);
+    if (starts.empty())
+        return 0.0;
+    std::size_t budget = config_.max_test_slices;
+    std::size_t stride =
+        starts.size() > budget ? starts.size() / budget : 1;
+    std::size_t correct = 0, scored = 0;
+    for (std::size_t i = 0; i < starts.size(); i += stride) {
+        std::size_t s = 0;
+        correct += runSlice(ds, starts[i], false, s, nullptr, i, nullptr);
+        scored += s;
+    }
+    return scored ? static_cast<double>(correct)
+            / static_cast<double>(scored)
+                  : 0.0;
+}
+
+double
+AttentionLstmModel::evaluateShuffled(const OfflineDataset &ds,
+                                     std::uint64_t seed)
+{
+    auto [lo, hi] = ds.testRange();
+    auto starts = sliceStarts(lo, hi);
+    if (starts.empty())
+        return 0.0;
+    Rng rng(seed);
+    const std::size_t T = 2 * config_.seq_n;
+    std::size_t budget = config_.max_test_slices;
+    std::size_t stride =
+        starts.size() > budget ? starts.size() / budget : 1;
+    std::size_t correct = 0, scored = 0;
+    std::vector<std::uint32_t> ids(T);
+    for (std::size_t i = 0; i < starts.size(); i += stride) {
+        for (std::size_t j = 0; j < T; ++j)
+            ids[j] = ds.accesses[starts[i] + j].pc_id;
+        // Fisher-Yates over everything before the final target.
+        for (std::size_t j = T - 1; j-- > 1;)
+            std::swap(ids[j], ids[rng.below(j + 1)]);
+        std::size_t s = 0;
+        correct += runSlice(ds, starts[i], false, s, nullptr, i, &ids);
+        scored += s;
+    }
+    return scored ? static_cast<double>(correct)
+            / static_cast<double>(scored)
+                  : 0.0;
+}
+
+std::vector<AttentionRecord>
+AttentionLstmModel::captureAttention(const OfflineDataset &ds,
+                                     std::size_t max_records)
+{
+    auto [lo, hi] = ds.testRange();
+    auto starts = sliceStarts(lo, hi);
+    std::vector<AttentionRecord> records;
+    for (std::size_t i = 0; i < starts.size(); ++i) {
+        std::size_t scored = 0;
+        runSlice(ds, starts[i], false, scored, &records, i, nullptr);
+        if (records.size() >= max_records)
+            break;
+    }
+    if (records.size() > max_records)
+        records.resize(max_records);
+    return records;
+}
+
+std::vector<TargetPcReport>
+AttentionLstmModel::perTargetPcReport(const OfflineDataset &ds,
+                                      const std::vector<std::uint32_t>
+                                          &target_pcs)
+{
+    auto records = captureAttention(ds, SIZE_MAX);
+    std::vector<TargetPcReport> out;
+    for (auto tpc : target_pcs) {
+        TargetPcReport rep;
+        rep.target_pc = tpc;
+        std::size_t correct = 0;
+        std::map<std::uint32_t, std::size_t> anchor_votes;
+        for (const auto &rec : records) {
+            if (rec.target_pc != tpc || rec.weights.empty())
+                continue;
+            ++rep.samples;
+            correct += rec.correct;
+            std::size_t best = 0;
+            for (std::size_t s = 1; s < rec.weights.size(); ++s) {
+                if (rec.weights[s] > rec.weights[best])
+                    best = s;
+            }
+            ++anchor_votes[rec.source_pcs[best]];
+        }
+        if (rep.samples) {
+            rep.accuracy = static_cast<double>(correct)
+                / static_cast<double>(rep.samples);
+            rep.anchor_pc =
+                std::max_element(anchor_votes.begin(), anchor_votes.end(),
+                                 [](const auto &a, const auto &b) {
+                                     return a.second < b.second;
+                                 })
+                    ->first;
+        }
+        out.push_back(rep);
+    }
+    return out;
+}
+
+} // namespace offline
+} // namespace glider

@@ -1,0 +1,138 @@
+/**
+ * @file
+ * The attention-based LSTM caching model of §4.1 (Figure 3):
+ * embedding -> 1-layer LSTM -> scaled dot-product attention ->
+ * binary caching decision per time step.
+ *
+ * Sequence protocol (§4.1): the labelled LLC stream is sliced into
+ * sequences of length 2N overlapping by N; the first N accesses are
+ * warmup context and predictions/losses are taken only for the
+ * second half. Trained with Adam on binary cross-entropy against the
+ * Belady labels.
+ *
+ * The class also exposes the analysis hooks the paper's
+ * interpretability study needs: attention-weight capture (Figures
+ * 4/5), accuracy under shuffled histories (Figure 6, Observation 3),
+ * and per-target-PC accuracy with anchor-PC attribution (Table 4).
+ */
+
+#ifndef GLIDER_OFFLINE_LSTM_MODEL_HH
+#define GLIDER_OFFLINE_LSTM_MODEL_HH
+
+#include <memory>
+#include <vector>
+
+#include "dataset.hh"
+#include "nn/attention.hh"
+#include "nn/layers.hh"
+#include "nn/optim.hh"
+#include "simple_models.hh"
+
+namespace glider {
+namespace offline {
+
+/** Hyper-parameters (Table 5; dims shrinkable for bench runtime). */
+struct LstmConfig
+{
+    std::size_t embedding = 128; //!< embedding size (Table 5: 128)
+    std::size_t hidden = 128;    //!< network size (Table 5: 128)
+    std::size_t seq_n = 30;      //!< N: predicted half-length
+    float attention_scale = 1.0f; //!< f of Eq. 3
+    float lr = 0.001f;            //!< Adam learning rate (Table 5)
+    std::uint64_t seed = 1234;
+    std::size_t max_train_slices = 2000; //!< runtime budget cap
+    std::size_t max_test_slices = 600;
+};
+
+/** One captured attention-weight vector (Figures 4/5). */
+struct AttentionRecord
+{
+    std::size_t slice = 0;       //!< slice index within the stream
+    std::size_t target = 0;      //!< target position within the slice
+    std::uint32_t target_pc = 0; //!< vocabulary id of the target
+    /** weights[s] for sources s = 0..target-1 (slice positions). */
+    std::vector<float> weights;
+    /** vocabulary ids of the source positions. */
+    std::vector<std::uint32_t> source_pcs;
+    bool correct = false; //!< did the model get this target right
+};
+
+/** Accuracy per target PC, with the strongest-attention source PC. */
+struct TargetPcReport
+{
+    std::uint32_t target_pc = 0;
+    std::uint32_t anchor_pc = 0; //!< modal argmax-attention source
+    std::size_t samples = 0;
+    double accuracy = 0.0;
+};
+
+/** The attention-based LSTM model. */
+class AttentionLstmModel : public OfflineModel
+{
+  public:
+    AttentionLstmModel(std::size_t vocab, const LstmConfig &config);
+    ~AttentionLstmModel() override;
+
+    std::string name() const override { return "Attention LSTM"; }
+
+    /** One Adam pass over (a budgeted sample of) the train slices. */
+    void trainEpoch(const OfflineDataset &ds) override;
+
+    /** Accuracy over the test slices' predicted halves. */
+    double evaluate(const OfflineDataset &ds) override;
+
+    /**
+     * Figure 6: accuracy when each test slice's history (everything
+     * before the final target) is randomly shuffled; only the final
+     * target of each slice is scored, per the paper's protocol.
+     */
+    double evaluateShuffled(const OfflineDataset &ds,
+                            std::uint64_t seed = 99);
+
+    /** Capture attention weights over test slices (Figures 4/5). */
+    std::vector<AttentionRecord>
+    captureAttention(const OfflineDataset &ds,
+                     std::size_t max_records = 4096);
+
+    /** Table 4: per-target-PC accuracy and anchor attribution. */
+    std::vector<TargetPcReport>
+    perTargetPcReport(const OfflineDataset &ds,
+                      const std::vector<std::uint32_t> &target_pcs);
+
+    const LstmConfig &config() const { return config_; }
+
+    /** Parameter count (Table 3 model-size bookkeeping). */
+    std::size_t parameterCount() const;
+
+  private:
+    struct Workspace;
+
+    /** Slice starts covering [lo, hi), overlapping by N. */
+    std::vector<std::size_t> sliceStarts(std::size_t lo,
+                                         std::size_t hi) const;
+
+    /**
+     * Run one slice. When @p train, backprop + Adam step. Returns
+     * correct predictions in the scored half; fills optional capture.
+     */
+    std::size_t runSlice(const OfflineDataset &ds, std::size_t start,
+                         bool train, std::size_t &scored,
+                         std::vector<AttentionRecord> *capture,
+                         std::size_t slice_index,
+                         const std::vector<std::uint32_t> *id_override);
+
+    std::size_t vocab_;
+    LstmConfig config_;
+    Rng rng_;
+    nn::Embedding embed_;
+    nn::LstmCell lstm_;
+    nn::ScaledDotAttention attention_;
+    nn::Linear output_; //!< [context ; hidden] -> 1 logit
+    nn::Adam adam_;
+    std::unique_ptr<Workspace> ws_;
+};
+
+} // namespace offline
+} // namespace glider
+
+#endif // GLIDER_OFFLINE_LSTM_MODEL_HH

@@ -1,0 +1,172 @@
+#include "simple_models.hh"
+
+#include "common/logging.hh"
+
+namespace glider {
+namespace offline {
+
+OfflineHawkeye::OfflineHawkeye(std::size_t vocab)
+    : counters_(vocab, kMax / 2 + 1)
+{
+}
+
+bool
+OfflineHawkeye::predict(std::uint32_t pc_id) const
+{
+    return counters_[pc_id] > kMax / 2;
+}
+
+void
+OfflineHawkeye::trainEpoch(const OfflineDataset &ds)
+{
+    auto [lo, hi] = ds.trainRange();
+    for (std::size_t i = lo; i < hi; ++i) {
+        int &c = counters_[ds.accesses[i].pc_id];
+        if (ds.accesses[i].label)
+            c = c < kMax ? c + 1 : kMax;
+        else
+            c = c > 0 ? c - 1 : 0;
+    }
+}
+
+double
+OfflineHawkeye::evaluate(const OfflineDataset &ds)
+{
+    auto [lo, hi] = ds.testRange();
+    if (lo == hi)
+        return 0.0;
+    std::size_t correct = 0;
+    for (std::size_t i = lo; i < hi; ++i) {
+        bool pred = predict(ds.accesses[i].pc_id);
+        correct += pred == (ds.accesses[i].label != 0);
+    }
+    return static_cast<double>(correct) / static_cast<double>(hi - lo);
+}
+
+OfflinePerceptron::OfflinePerceptron(std::size_t vocab,
+                                     std::size_t history, float lr)
+    : vocab_(vocab), history_(history), lr_(lr),
+      weights_(vocab * history, 0.0f), bias_per_pc_(vocab, 0.0f)
+{
+    GLIDER_ASSERT(history >= 1);
+}
+
+float
+OfflinePerceptron::scoreAndMaybeTrain(const OfflineDataset &ds,
+                                      std::size_t lo, std::size_t hi,
+                                      bool train, std::size_t &correct)
+{
+    // The ordered history is rebuilt from the stream start so that
+    // test-range contexts are well-formed.
+    std::deque<std::uint32_t> hist;
+    correct = 0;
+    float loss = 0.0f;
+    for (std::size_t i = 0; i < hi; ++i) {
+        std::uint32_t pc = ds.accesses[i].pc_id;
+        if (i >= lo) {
+            float sum = bias_per_pc_[pc];
+            for (std::size_t p = 0; p < history_ && p < hist.size(); ++p)
+                sum += weights_[p * vocab_ + hist[p]];
+            bool label = ds.accesses[i].label != 0;
+            float y = label ? 1.0f : -1.0f;
+            correct += (sum >= 0.0f) == label;
+            float margin = y * sum;
+            if (margin < 1.0f) {
+                loss += 1.0f - margin;
+                if (train) {
+                    bias_per_pc_[pc] += lr_ * y;
+                    for (std::size_t p = 0;
+                         p < history_ && p < hist.size(); ++p) {
+                        weights_[p * vocab_ + hist[p]] += lr_ * y;
+                    }
+                }
+            }
+        }
+        hist.push_front(pc);
+        if (hist.size() > history_)
+            hist.pop_back();
+    }
+    return loss;
+}
+
+void
+OfflinePerceptron::trainEpoch(const OfflineDataset &ds)
+{
+    std::size_t correct = 0;
+    auto [lo, hi] = ds.trainRange();
+    scoreAndMaybeTrain(ds, lo, hi, true, correct);
+}
+
+double
+OfflinePerceptron::evaluate(const OfflineDataset &ds)
+{
+    std::size_t correct = 0;
+    auto [lo, hi] = ds.testRange();
+    if (lo == hi)
+        return 0.0;
+    scoreAndMaybeTrain(ds, lo, hi, false, correct);
+    return static_cast<double>(correct) / static_cast<double>(hi - lo);
+}
+
+OfflineIsvm::OfflineIsvm(std::size_t vocab, std::size_t k, float lr)
+    : vocab_(vocab), k_(k), lr_(lr), weights_(vocab * vocab, 0.0f),
+      bias_(vocab, 0.0f)
+{
+    GLIDER_ASSERT(k >= 1);
+}
+
+float
+OfflineIsvm::run(const OfflineDataset &ds, std::size_t lo,
+                 std::size_t hi, bool train, std::size_t &correct)
+{
+    LruTracker<std::uint32_t> pchr(k_);
+    correct = 0;
+    float loss = 0.0f;
+    for (std::size_t i = 0; i < hi; ++i) {
+        std::uint32_t pc = ds.accesses[i].pc_id;
+        if (i >= lo) {
+            // k-sparse unordered feature: presence of each history PC.
+            const float *w = &weights_[pc * vocab_];
+            float sum = bias_[pc];
+            for (auto h : pchr.entries())
+                sum += w[h];
+            bool label = ds.accesses[i].label != 0;
+            float y = label ? 1.0f : -1.0f;
+            correct += (sum >= 0.0f) == label;
+            float margin = y * sum;
+            if (margin < 1.0f) {
+                loss += 1.0f - margin;
+                if (train) {
+                    bias_[pc] += lr_ * y;
+                    float *wt = &weights_[pc * vocab_];
+                    for (auto h : pchr.entries())
+                        wt[h] += lr_ * y;
+                }
+            }
+        }
+        pchr.touch(pc);
+    }
+    return loss;
+}
+
+void
+OfflineIsvm::trainEpoch(const OfflineDataset &ds)
+{
+    std::size_t correct = 0;
+    auto [lo, hi] = ds.trainRange();
+    run(ds, lo, hi, true, correct);
+}
+
+double
+OfflineIsvm::evaluate(const OfflineDataset &ds)
+{
+    std::size_t correct = 0;
+    auto [lo, hi] = ds.testRange();
+    if (lo == hi)
+        return 0.0;
+    run(ds, lo, hi, false, correct);
+    return static_cast<double>(correct) / static_cast<double>(hi - lo);
+}
+
+} // namespace offline
+} // namespace glider

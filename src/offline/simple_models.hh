@@ -1,0 +1,130 @@
+/**
+ * @file
+ * The three non-deep offline baselines of §5.2 / Figures 9, 14, 15:
+ *
+ *  - OfflineHawkeye: per-PC saturating counters (the Hawkeye
+ *    predictor trained on oracle labels);
+ *  - OfflinePerceptron: a linear model over an *ordered* history of
+ *    the last h PCs with duplicates (the Teran et al. representation,
+ *    re-labelled from Belady as the paper describes), trained with
+ *    hinge loss;
+ *  - OfflineIsvm: Glider's SVM over the k-sparse *unordered unique*
+ *    PC history, hinge loss, exact (unhashed) per-PC feature weights
+ *    as in §4.3's formulation x in {0,1}^u.
+ *
+ * All three share the streaming evaluation protocol: train over the
+ * train range (one pass per epoch, in stream order), then freeze and
+ * score accuracy over the test range.
+ */
+
+#ifndef GLIDER_OFFLINE_SIMPLE_MODELS_HH
+#define GLIDER_OFFLINE_SIMPLE_MODELS_HH
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "common/lru_tracker.hh"
+#include "dataset.hh"
+
+namespace glider {
+namespace offline {
+
+/** Streaming offline binary predictor over a labelled LLC stream. */
+class OfflineModel
+{
+  public:
+    virtual ~OfflineModel() = default;
+
+    virtual std::string name() const = 0;
+
+    /** One pass over the training range (stream order). */
+    virtual void trainEpoch(const OfflineDataset &ds) = 0;
+
+    /** Frozen accuracy over the test range. */
+    virtual double evaluate(const OfflineDataset &ds) = 0;
+};
+
+/** Per-PC 5-bit counters trained from oracle labels. */
+class OfflineHawkeye : public OfflineModel
+{
+  public:
+    explicit OfflineHawkeye(std::size_t vocab);
+
+    std::string name() const override { return "Hawkeye"; }
+    void trainEpoch(const OfflineDataset &ds) override;
+    double evaluate(const OfflineDataset &ds) override;
+
+    bool predict(std::uint32_t pc_id) const;
+
+  private:
+    std::vector<int> counters_;
+    static constexpr int kMax = 31;
+};
+
+/**
+ * Linear hinge-loss model over an ordered PC history with
+ * duplicates: weight tables indexed by (position, pc).
+ */
+class OfflinePerceptron : public OfflineModel
+{
+  public:
+    /**
+     * @param vocab PC vocabulary size.
+     * @param history Ordered history length (paper default 3).
+     * @param lr Hinge-loss step size.
+     */
+    OfflinePerceptron(std::size_t vocab, std::size_t history = 3,
+                      float lr = 0.05f);
+
+    std::string name() const override { return "Perceptron"; }
+    void trainEpoch(const OfflineDataset &ds) override;
+    double evaluate(const OfflineDataset &ds) override;
+
+  private:
+    float scoreAndMaybeTrain(const OfflineDataset &ds, std::size_t lo,
+                             std::size_t hi, bool train,
+                             std::size_t &correct);
+
+    std::size_t vocab_;
+    std::size_t history_;
+    float lr_;
+    /** weights_[pos * vocab + pc]: ordered-position weight tables. */
+    std::vector<float> weights_;
+    std::vector<float> bias_per_pc_; //!< current-PC weight
+};
+
+/**
+ * Glider's offline ISVM: one SVM per current PC over the k-sparse
+ * unordered-unique history feature, hinge loss.
+ */
+class OfflineIsvm : public OfflineModel
+{
+  public:
+    /**
+     * @param vocab PC vocabulary size.
+     * @param k Unique-PC history length (paper default 5).
+     * @param lr Hinge-loss step size (paper: 0.001-scale sweeps).
+     */
+    OfflineIsvm(std::size_t vocab, std::size_t k = 5, float lr = 0.1f);
+
+    std::string name() const override { return "Offline ISVM"; }
+    void trainEpoch(const OfflineDataset &ds) override;
+    double evaluate(const OfflineDataset &ds) override;
+
+  private:
+    float run(const OfflineDataset &ds, std::size_t lo, std::size_t hi,
+              bool train, std::size_t &correct);
+
+    std::size_t vocab_;
+    std::size_t k_;
+    float lr_;
+    /** weights_[cur_pc * vocab + hist_pc]: exact k-sparse weights. */
+    std::vector<float> weights_;
+    std::vector<float> bias_; //!< per-current-PC bias
+};
+
+} // namespace offline
+} // namespace glider
+
+#endif // GLIDER_OFFLINE_SIMPLE_MODELS_HH

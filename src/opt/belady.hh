@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Exact Belady MIN for a set-associative cache.
+ *
+ * Used two ways: (1) to produce per-access oracle labels for offline
+ * training — the paper's "cache-friendly / cache-averse" supervision
+ * (§4) — and (2) as the MIN replacement rows of the evaluation.
+ */
+
+#ifndef GLIDER_OPT_BELADY_HH
+#define GLIDER_OPT_BELADY_HH
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "cachesim/replacement.hh"
+#include "traces/trace.hh"
+
+namespace glider {
+namespace opt {
+
+/** Outcome of an exact MIN simulation over an LLC access stream. */
+struct BeladyResult
+{
+    /**
+     * labels[i] == 1 iff the block touched by access i is still
+     * resident at its next use (so OPT "caches" access i). The last
+     * occurrence of every block is labelled 0 (no future reuse).
+     */
+    std::vector<std::uint8_t> labels;
+    /** hits[i] == 1 iff access i itself hit under MIN. */
+    std::vector<std::uint8_t> hits;
+    std::uint64_t hit_count = 0;
+
+    double
+    hitRate() const
+    {
+        return hits.empty()
+            ? 0.0
+            : static_cast<double>(hit_count)
+                / static_cast<double>(hits.size());
+    }
+};
+
+/**
+ * For each access, the index of the next access to the same block
+ * (or SIZE_MAX when there is none). The backbone of MIN.
+ */
+std::vector<std::size_t> computeNextUse(const traces::Trace &stream);
+
+/**
+ * Run exact Belady MIN (with bypass, which is optimal for a
+ * non-inclusive cache) over @p stream with the given geometry.
+ */
+BeladyResult simulateBelady(const traces::Trace &stream,
+                            std::uint64_t sets, std::uint32_t ways);
+
+/**
+ * Oracle replacement policy: replays MIN decisions for a known
+ * future. The driver must present exactly the @p stream accesses, in
+ * order, that the policy was constructed with (asserted).
+ */
+class BeladyPolicy : public sim::ReplacementPolicy
+{
+  public:
+    explicit BeladyPolicy(const traces::Trace &stream);
+
+    std::string name() const override { return "MIN"; }
+    void reset(const sim::CacheGeometry &geom) override;
+    std::uint32_t victimWay(const sim::ReplacementAccess &access,
+                            const std::vector<sim::LineView> &lines)
+        override;
+    void onHit(const sim::ReplacementAccess &access,
+               std::uint32_t way) override;
+    void onEvict(const sim::ReplacementAccess &access, std::uint32_t way,
+                 const sim::LineView &victim) override;
+    void onInsert(const sim::ReplacementAccess &access,
+                  std::uint32_t way) override;
+
+  private:
+    /** Advance the stream cursor, checking the caller stays in sync. */
+    std::size_t advance(const sim::ReplacementAccess &access);
+
+    const traces::Trace *stream_;
+    std::vector<std::size_t> next_use_;
+    std::size_t cursor_ = 0;
+    sim::CacheGeometry geom_;
+    /** Next-use time of the line in each (set, way); SIZE_MAX = never. */
+    std::vector<std::size_t> line_next_use_;
+};
+
+} // namespace opt
+} // namespace glider
+
+#endif // GLIDER_OPT_BELADY_HH

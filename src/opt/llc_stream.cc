@@ -1,0 +1,31 @@
+#include "llc_stream.hh"
+
+#include <memory>
+
+#include "cachesim/basic_lru.hh"
+#include "cachesim/cache.hh"
+
+namespace glider {
+namespace opt {
+
+traces::Trace
+extractLlcStream(const traces::Trace &cpu_trace,
+                 const sim::HierarchyConfig &config)
+{
+    sim::Cache l1(config.l1, std::make_unique<sim::BasicLruPolicy>());
+    sim::Cache l2(config.l2, std::make_unique<sim::BasicLruPolicy>());
+
+    traces::Trace out(cpu_trace.name() + ".llc");
+    for (const auto &rec : cpu_trace) {
+        std::uint64_t block = traces::blockAddr(rec.address);
+        if (l1.access(rec.core, rec.pc, block, rec.is_write))
+            continue;
+        if (l2.access(rec.core, rec.pc, block, rec.is_write))
+            continue;
+        out.push(rec);
+    }
+    return out;
+}
+
+} // namespace opt
+} // namespace glider

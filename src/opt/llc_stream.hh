@@ -1,0 +1,34 @@
+/**
+ * @file
+ * LLC access-stream extraction.
+ *
+ * The paper trains and labels on traces of *LLC* accesses generated
+ * by running applications through ChampSim (§5.1). Because the
+ * private L1/L2 levels use a fixed LRU policy and the hierarchy is
+ * non-inclusive, the LLC access stream is identical regardless of
+ * the LLC replacement policy under study — so it can be extracted
+ * once per workload and reused by every offline model and by the
+ * BeladyPolicy oracle rows.
+ */
+
+#ifndef GLIDER_OPT_LLC_STREAM_HH
+#define GLIDER_OPT_LLC_STREAM_HH
+
+#include "cachesim/cache_config.hh"
+#include "traces/trace.hh"
+
+namespace glider {
+namespace opt {
+
+/**
+ * Filter @p cpu_trace through L1 and L2 (per Table 1, LRU) and return
+ * the stream of accesses that reach the LLC.
+ */
+traces::Trace extractLlcStream(const traces::Trace &cpu_trace,
+                               const sim::HierarchyConfig &config
+                               = sim::HierarchyConfig());
+
+} // namespace opt
+} // namespace glider
+
+#endif // GLIDER_OPT_LLC_STREAM_HH

@@ -1,0 +1,193 @@
+#include "optgen.hh"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/hash.hh"
+#include "common/logging.hh"
+
+namespace glider {
+namespace opt {
+
+OptGenSet::OptGenSet(std::uint32_t ways, std::size_t history_quanta,
+                     std::size_t max_entries)
+    : ways_(ways), history_quanta_(history_quanta),
+      max_entries_(max_entries), occupancy_(history_quanta, 0),
+      entries_(max_entries)
+{
+    GLIDER_ASSERT(ways >= 1);
+    GLIDER_ASSERT(history_quanta >= 1);
+    GLIDER_ASSERT(max_entries >= 1);
+}
+
+std::uint8_t &
+OptGenSet::occupancyAt(std::uint64_t time)
+{
+    GLIDER_ASSERT(time >= base_time_ && time < clock_ + 1);
+    return occupancy_[time % history_quanta_];
+}
+
+std::optional<TrainingEvent>
+OptGenSet::access(std::uint64_t block, std::uint64_t pc,
+                  std::uint8_t core, const PcHistory &history,
+                  bool predicted_friendly, bool prediction_valid)
+{
+    std::uint64_t now = clock_++;
+    // Open the new quantum; slide the window forward if full.
+    if (now >= history_quanta_) {
+        std::uint64_t new_base = now - history_quanta_ + 1;
+        // Entries whose interval start aged out of the window can
+        // never be proven OPT hits: emit negative training for them.
+        for (auto &e : entries_) {
+            if (e.valid && e.last_time < new_base) {
+                TrainingEvent ev;
+                ev.opt_hit = false;
+                ev.pc = e.pc;
+                ev.block = e.block;
+                ev.core = e.core;
+                ev.history = e.history;
+                ev.predicted_friendly = e.predicted_friendly;
+                ev.prediction_valid = e.prediction_valid;
+                expired_.push_back(std::move(ev));
+                e.valid = false;
+            }
+        }
+        base_time_ = new_base;
+    }
+    occupancy_[now % history_quanta_] = 0;
+
+    std::optional<TrainingEvent> result;
+    Entry *entry = nullptr;
+    Entry *free_slot = nullptr;
+    Entry *oldest = nullptr;
+    for (auto &e : entries_) {
+        if (e.valid && e.block == block) {
+            entry = &e;
+            break;
+        }
+        if (!e.valid && !free_slot)
+            free_slot = &e;
+        if (e.valid && (!oldest || e.last_time < oldest->last_time))
+            oldest = &e;
+    }
+
+    if (entry) {
+        // Usage interval [entry->last_time, now): an OPT hit iff all
+        // its quanta still have spare capacity.
+        bool fits = true;
+        for (std::uint64_t t = entry->last_time; t < now; ++t) {
+            if (occupancyAt(t) >= ways_) {
+                fits = false;
+                break;
+            }
+        }
+        if (fits) {
+            for (std::uint64_t t = entry->last_time; t < now; ++t)
+                ++occupancyAt(t);
+        }
+        TrainingEvent ev;
+        ev.opt_hit = fits;
+        ev.pc = entry->pc;
+        ev.block = entry->block;
+        ev.core = entry->core;
+        ev.history = entry->history;
+        ev.predicted_friendly = entry->predicted_friendly;
+        ev.prediction_valid = entry->prediction_valid;
+        result = std::move(ev);
+    } else {
+        // New tracked address; steal the oldest entry if at capacity.
+        entry = free_slot;
+        if (!entry) {
+            GLIDER_ASSERT(oldest != nullptr);
+            // The displaced address never got labelled: negative.
+            TrainingEvent ev;
+            ev.opt_hit = false;
+            ev.pc = oldest->pc;
+            ev.block = oldest->block;
+            ev.core = oldest->core;
+            ev.history = oldest->history;
+            ev.predicted_friendly = oldest->predicted_friendly;
+            ev.prediction_valid = oldest->prediction_valid;
+            expired_.push_back(std::move(ev));
+            entry = oldest;
+        }
+    }
+
+    entry->block = block;
+    entry->last_time = now;
+    entry->pc = pc;
+    entry->core = core;
+    entry->history = history;
+    entry->predicted_friendly = predicted_friendly;
+    entry->prediction_valid = prediction_valid;
+    entry->valid = true;
+    return result;
+}
+
+std::optional<TrainingEvent>
+OptGenSet::popExpired()
+{
+    if (expired_.empty())
+        return std::nullopt;
+    TrainingEvent ev = std::move(expired_.back());
+    expired_.pop_back();
+    return ev;
+}
+
+OptGenSampler::OptGenSampler(std::uint64_t sets, std::uint32_t ways,
+                             std::uint64_t sampled_sets)
+{
+    GLIDER_ASSERT(sets >= 1);
+    sets_ = sets;
+    if (sampled_sets > sets)
+        sampled_sets = sets;
+    // Hash-ranked selection: the sampled_sets sets with the smallest
+    // mixed index are chosen. Deterministic, evenly spread, and free
+    // of stride aliasing.
+    std::vector<std::uint64_t> order(sets);
+    std::iota(order.begin(), order.end(), 0);
+    std::sort(order.begin(), order.end(),
+              [](std::uint64_t a, std::uint64_t b) {
+                  return mix64(a) < mix64(b);
+              });
+    sample_index_.assign(sets, -1);
+    sampled_.reserve(sampled_sets);
+    for (std::uint64_t i = 0; i < sampled_sets; ++i) {
+        sample_index_[order[i]] = static_cast<std::int32_t>(i);
+        sampled_.emplace_back(ways, 8 * ways,
+                              static_cast<std::size_t>(2 * ways));
+    }
+}
+
+bool
+OptGenSampler::isSampled(std::uint64_t set) const
+{
+    return sample_index_[set] >= 0;
+}
+
+std::optional<TrainingEvent>
+OptGenSampler::access(std::uint64_t set, std::uint64_t block,
+                      std::uint64_t pc, std::uint8_t core,
+                      const PcHistory &history,
+                      bool predicted_friendly, bool prediction_valid)
+{
+    GLIDER_ASSERT(isSampled(set));
+    return sampled_[static_cast<std::size_t>(sample_index_[set])]
+        .access(block, pc, core, history, predicted_friendly,
+                prediction_valid);
+}
+
+std::optional<TrainingEvent>
+OptGenSampler::popExpired()
+{
+    for (std::size_t n = 0; n < sampled_.size(); ++n) {
+        auto ev = sampled_[drain_cursor_].popExpired();
+        if (ev)
+            return ev;
+        drain_cursor_ = (drain_cursor_ + 1) % sampled_.size();
+    }
+    return std::nullopt;
+}
+
+} // namespace opt
+} // namespace glider

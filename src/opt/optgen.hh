@@ -1,0 +1,149 @@
+/**
+ * @file
+ * OPTgen: Hawkeye's online reconstruction of Belady's decisions for
+ * past accesses (Jain & Lin, ISCA'16), extended to carry the
+ * control-flow context Glider needs.
+ *
+ * For each sampled cache set, OPTgen keeps an occupancy vector over a
+ * sliding window of recent accesses ("time quanta"). When an access
+ * closes a usage interval [t_prev, t) for a block, the interval is an
+ * OPT hit iff every quantum in it still has spare capacity; OPT hits
+ * reserve their interval by incrementing it. The closing of an
+ * interval yields a training event for the predictor that observed
+ * the access at t_prev.
+ */
+
+#ifndef GLIDER_OPT_OPTGEN_HH
+#define GLIDER_OPT_OPTGEN_HH
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace glider {
+namespace opt {
+
+/** PCHR snapshot captured with each sampled access (Glider feature). */
+using PcHistory = std::vector<std::uint64_t>;
+
+/** Emitted when OPTgen decides the fate of a past access. */
+struct TrainingEvent
+{
+    bool opt_hit = false;       //!< OPT would have cached the access
+    std::uint64_t pc = 0;       //!< PC of the access being labelled
+    std::uint64_t block = 0;
+    std::uint8_t core = 0;      //!< core that issued the access
+    PcHistory history;          //!< PCHR contents at that access
+    bool predicted_friendly = false; //!< what the predictor said then
+    bool prediction_valid = false;   //!< was a prediction recorded
+};
+
+/** OPTgen state for one sampled set. */
+class OptGenSet
+{
+  public:
+    /**
+     * @param ways Modelled associativity (OPT capacity per quantum).
+     * @param history_quanta Sliding-window length; the Hawkeye
+     *        default is 8x the associativity.
+     * @param max_entries Tracked-address budget (sampler capacity).
+     */
+    OptGenSet(std::uint32_t ways, std::size_t history_quanta,
+              std::size_t max_entries);
+
+    /**
+     * Record an access to @p block by @p pc.
+     *
+     * @param history PCHR snapshot at this access (may be empty).
+     * @param predicted_friendly The predictor's verdict for this
+     *        access (used later to score online accuracy).
+     * @param prediction_valid False when no prediction was made.
+     * @return a TrainingEvent if this access closed a usage interval.
+     */
+    std::optional<TrainingEvent> access(std::uint64_t block,
+                                        std::uint64_t pc,
+                                        std::uint8_t core,
+                                        const PcHistory &history,
+                                        bool predicted_friendly,
+                                        bool prediction_valid);
+
+    /**
+     * Pop an eviction-driven negative training event, if any: a
+     * tracked address aged out of the window without reuse, which
+     * means OPT did not cache it. Call until empty after access().
+     */
+    std::optional<TrainingEvent> popExpired();
+
+    std::uint64_t clock() const { return clock_; }
+
+  private:
+    struct Entry
+    {
+        std::uint64_t block = 0;
+        std::uint64_t last_time = 0;
+        std::uint64_t pc = 0;
+        std::uint8_t core = 0;
+        PcHistory history;
+        bool predicted_friendly = false;
+        bool prediction_valid = false;
+        bool valid = false;
+    };
+
+    /** Quantum index -> occupancy slot in the ring. */
+    std::uint8_t &occupancyAt(std::uint64_t time);
+
+    std::uint32_t ways_;
+    std::size_t history_quanta_;
+    std::size_t max_entries_;
+    std::uint64_t clock_ = 0;     //!< accesses to this set so far
+    std::uint64_t base_time_ = 0; //!< oldest quantum still in window
+    std::vector<std::uint8_t> occupancy_; //!< ring of history_quanta_
+    std::vector<Entry> entries_;
+    std::vector<TrainingEvent> expired_;
+};
+
+/**
+ * Set-sampled OPTgen front end: routes accesses of sampled LLC sets
+ * to per-set OptGen state, as Hawkeye's sampler does (64 sampled
+ * sets by default). Sampled sets are chosen by hashing the set index
+ * rather than by stride, so that regular address-layout strides in
+ * the workload (e.g. multi-line objects) cannot alias with the
+ * sample and starve some PCs of training.
+ */
+class OptGenSampler
+{
+  public:
+    /**
+     * @param sets Total LLC sets.
+     * @param ways LLC associativity.
+     * @param sampled_sets How many sets to sample (spread evenly).
+     */
+    OptGenSampler(std::uint64_t sets, std::uint32_t ways,
+                  std::uint64_t sampled_sets = 64);
+
+    /** @return true if @p set is sampled. */
+    bool isSampled(std::uint64_t set) const;
+
+    /** Forward an access on a sampled set (see OptGenSet::access). */
+    std::optional<TrainingEvent> access(std::uint64_t set,
+                                        std::uint64_t block,
+                                        std::uint64_t pc,
+                                        std::uint8_t core,
+                                        const PcHistory &history,
+                                        bool predicted_friendly,
+                                        bool prediction_valid);
+
+    /** Drain expired-entry negative events across all sampled sets. */
+    std::optional<TrainingEvent> popExpired();
+
+  private:
+    std::uint64_t sets_;
+    std::vector<std::int32_t> sample_index_; //!< set -> slot or -1
+    std::vector<OptGenSet> sampled_;
+    std::size_t drain_cursor_ = 0;
+};
+
+} // namespace opt
+} // namespace glider
+
+#endif // GLIDER_OPT_OPTGEN_HH

@@ -1,0 +1,22 @@
+/**
+ * @file
+ * LRU baseline for the LLC — the normalisation baseline of every
+ * figure in the paper's evaluation. The mechanism is the same
+ * true-LRU used by the private levels.
+ */
+
+#ifndef GLIDER_POLICIES_LRU_HH
+#define GLIDER_POLICIES_LRU_HH
+
+#include "cachesim/basic_lru.hh"
+
+namespace glider {
+namespace policies {
+
+/** True-LRU replacement (Table/Figure baseline). */
+using LruPolicy = sim::BasicLruPolicy;
+
+} // namespace policies
+} // namespace glider
+
+#endif // GLIDER_POLICIES_LRU_HH

@@ -1,0 +1,150 @@
+#include "opt_guided.hh"
+
+#include "common/logging.hh"
+
+namespace glider {
+namespace policies {
+
+void
+OptGuidedPolicy::reset(const sim::CacheGeometry &geom)
+{
+    geom_ = geom;
+    // Keep the sampled-set ratio constant (1/32 of sets, CRC2-like):
+    // a shared multi-core LLC has 4x the sets, and sampling a fixed
+    // 64 would train the predictor 4x slower than single-core.
+    std::uint64_t sampled = geom.sets / 32;
+    if (sampled < 64)
+        sampled = 64;
+    sampler_ = std::make_unique<opt::OptGenSampler>(geom.sets, geom.ways,
+                                                    sampled);
+    accuracy_ = PredictorAccuracy{};
+    per_pc_accuracy_.clear();
+    rrpv_.assign(geom.sets * geom.ways, kMaxRrpv);
+    line_pc_.assign(geom.sets * geom.ways, 0);
+    line_core_.assign(geom.sets * geom.ways, 0);
+    line_friendly_.assign(geom.sets * geom.ways, 0);
+}
+
+void
+OptGuidedPolicy::handleEvent(const opt::TrainingEvent &event)
+{
+    if (event.prediction_valid) {
+        ++accuracy_.events;
+        auto &per_pc = per_pc_accuracy_[event.pc];
+        ++per_pc.events;
+        if (event.opt_hit == event.predicted_friendly) {
+            ++accuracy_.correct;
+            ++per_pc.correct;
+        }
+    }
+    onTrainingEvent(event);
+}
+
+void
+OptGuidedPolicy::sample(const sim::ReplacementAccess &access,
+                        Pred prediction)
+{
+    if (!sampler_->isSampled(access.set))
+        return;
+    bool predicted_friendly = prediction != Pred::Averse;
+    auto ev = sampler_->access(access.set, access.block_addr, access.pc,
+                               access.core, historySnapshot(access),
+                               predicted_friendly, true);
+    if (ev)
+        handleEvent(*ev);
+    while (auto expired = sampler_->popExpired())
+        handleEvent(*expired);
+}
+
+std::uint32_t
+OptGuidedPolicy::victimWay(const sim::ReplacementAccess &access,
+                           const std::vector<sim::LineView> &lines)
+{
+    std::uint8_t *row = &rrpv_[access.set * geom_.ways];
+    for (std::uint32_t w = 0; w < geom_.ways; ++w) {
+        if (!lines[w].valid)
+            return w;
+    }
+    // Cache-averse lines go first...
+    for (std::uint32_t w = 0; w < geom_.ways; ++w) {
+        if (row[w] >= kMaxRrpv)
+            return w;
+    }
+    // ...otherwise the oldest cache-friendly line; the predictor was
+    // wrong about it, so the inserting context is detrained.
+    std::uint32_t victim = 0;
+    for (std::uint32_t w = 1; w < geom_.ways; ++w) {
+        if (row[w] > row[victim])
+            victim = w;
+    }
+    std::size_t idx = access.set * geom_.ways + victim;
+    if (line_friendly_[idx])
+        onFriendlyEviction(line_pc_[idx], line_core_[idx]);
+    return victim;
+}
+
+void
+OptGuidedPolicy::onHit(const sim::ReplacementAccess &access,
+                       std::uint32_t way)
+{
+    observeAccess(access);
+    Pred pred = predictAccess(access);
+    sample(access, pred);
+
+    std::size_t idx = access.set * geom_.ways + way;
+    line_pc_[idx] = access.pc;
+    line_core_[idx] = access.core;
+    line_friendly_[idx] = pred != Pred::Averse;
+    rrpv_[idx] = pred == Pred::Averse ? kMaxRrpv : 0;
+}
+
+void
+OptGuidedPolicy::onEvict(const sim::ReplacementAccess &, std::uint32_t,
+                         const sim::LineView &)
+{
+}
+
+void
+OptGuidedPolicy::onInsert(const sim::ReplacementAccess &access,
+                          std::uint32_t way)
+{
+    observeAccess(access);
+    Pred pred = predictAccess(access);
+    sample(access, pred);
+
+    std::uint8_t *row = &rrpv_[access.set * geom_.ways];
+    std::size_t idx = access.set * geom_.ways + way;
+    line_pc_[idx] = access.pc;
+    line_core_[idx] = access.core;
+    line_friendly_[idx] = pred != Pred::Averse;
+
+    switch (pred) {
+      case Pred::Averse:
+        row[way] = kMaxRrpv;
+        return;
+      case Pred::FriendlyLow:
+        row[way] = 2;
+        break;
+      case Pred::FriendlyHigh:
+        row[way] = 0;
+        break;
+    }
+    // A friendly insertion ages the other friendly lines so that
+    // "oldest friendly" approximates LRU order among friendly lines
+    // (the Hawkeye aging rule; saturates below the averse level).
+    for (std::uint32_t w = 0; w < geom_.ways; ++w) {
+        std::size_t other = access.set * geom_.ways + w;
+        if (w != way && line_friendly_[other]
+            && row[w] < kMaxRrpv - 1) {
+            ++row[w];
+        }
+    }
+}
+
+void
+OptGuidedPolicy::onFriendlyEviction(std::uint64_t, std::uint8_t)
+{
+}
+
+} // namespace policies
+} // namespace glider

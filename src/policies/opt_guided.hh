@@ -1,0 +1,121 @@
+/**
+ * @file
+ * The Hawkeye framework (Jain & Lin, ISCA'16): an LLC replacement
+ * skeleton that learns from OPTgen's reconstruction of Belady's
+ * decisions on sampled sets. Hawkeye instantiates it with a per-PC
+ * counter predictor; Glider (src/core) replaces only the predictor
+ * with its ISVM over an unordered PC history — everything else
+ * (sampler, OPTgen, insertion priorities, aging, eviction order) is
+ * shared, mirroring how the paper "replaces the predictor module of
+ * Hawkeye, keeping other modules the same" (§5.4).
+ */
+
+#ifndef GLIDER_POLICIES_OPT_GUIDED_HH
+#define GLIDER_POLICIES_OPT_GUIDED_HH
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "cachesim/replacement.hh"
+#include "opt/optgen.hh"
+#include "rrip.hh"
+
+namespace glider {
+namespace policies {
+
+/** Online-accuracy counters for Figure 10. */
+struct PredictorAccuracy
+{
+    std::uint64_t events = 0;  //!< OPTgen-labelled predictions
+    std::uint64_t correct = 0; //!< predictions matching OPT
+
+    double
+    accuracy() const
+    {
+        return events ? static_cast<double>(correct)
+                / static_cast<double>(events)
+                      : 0.0;
+    }
+};
+
+/**
+ * Base class implementing the OPTgen-trained replacement framework.
+ * Subclasses supply the predictor (predictAccess / onTrainingEvent /
+ * historySnapshot).
+ */
+class OptGuidedPolicy : public sim::ReplacementPolicy
+{
+  public:
+    /** Insertion confidence levels (§4.4's RRPV 0 / 2 / 7 buckets). */
+    enum class Pred { FriendlyHigh, FriendlyLow, Averse };
+
+    void reset(const sim::CacheGeometry &geom) override;
+    std::uint32_t victimWay(const sim::ReplacementAccess &access,
+                            const std::vector<sim::LineView> &lines)
+        override;
+    void onHit(const sim::ReplacementAccess &access,
+               std::uint32_t way) override;
+    void onEvict(const sim::ReplacementAccess &access, std::uint32_t way,
+                 const sim::LineView &victim) override;
+    void onInsert(const sim::ReplacementAccess &access,
+                  std::uint32_t way) override;
+
+    /** Online predictor accuracy vs OPTgen (Figure 10). */
+    const PredictorAccuracy &predictorAccuracy() const
+    {
+        return accuracy_;
+    }
+
+    /** Per-PC accuracy breakdown (Table 4 / diagnostics). */
+    const std::unordered_map<std::uint64_t, PredictorAccuracy> &
+    perPcAccuracy() const
+    {
+        return per_pc_accuracy_;
+    }
+
+  protected:
+    /** Predict the caching priority of @p access. */
+    virtual Pred predictAccess(const sim::ReplacementAccess &access) = 0;
+
+    /** An OPTgen label arrived: train the predictor. */
+    virtual void onTrainingEvent(const opt::TrainingEvent &event) = 0;
+
+    /**
+     * The predictor was wrong about an evicted cache-friendly line;
+     * Hawkeye detrains the inserting context. Default: no-op.
+     */
+    virtual void onFriendlyEviction(std::uint64_t line_pc,
+                                    std::uint8_t core);
+
+    /** Control-flow history to store with sampled accesses. */
+    virtual opt::PcHistory
+    historySnapshot(const sim::ReplacementAccess &)
+    {
+        return {};
+    }
+
+    /** Called once per LLC access, before prediction (PCHR update). */
+    virtual void observeAccess(const sim::ReplacementAccess &) {}
+
+    sim::CacheGeometry geom_;
+
+  private:
+    /** Run the sampler/trainer pipeline for one access. */
+    void sample(const sim::ReplacementAccess &access, Pred prediction);
+    void handleEvent(const opt::TrainingEvent &event);
+
+    std::unique_ptr<opt::OptGenSampler> sampler_;
+    PredictorAccuracy accuracy_;
+    std::unordered_map<std::uint64_t, PredictorAccuracy>
+        per_pc_accuracy_;
+    std::vector<std::uint8_t> rrpv_;
+    std::vector<std::uint64_t> line_pc_;
+    std::vector<std::uint8_t> line_core_;
+    std::vector<std::uint8_t> line_friendly_;
+};
+
+} // namespace policies
+} // namespace glider
+
+#endif // GLIDER_POLICIES_OPT_GUIDED_HH

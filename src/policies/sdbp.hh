@@ -1,0 +1,150 @@
+/**
+ * @file
+ * SDBP — Sampling Dead Block Prediction (Khan, Tian & Jiménez,
+ * MICRO'10), one of the learning-based predecessors the paper's
+ * related-work section discusses. A small set of sampled sets feeds
+ * a skewed table of saturating counters indexed by the PC of the
+ * last access to a block; blocks predicted dead are made eviction
+ * candidates (here: inserted/demoted to distant RRPV).
+ */
+
+#ifndef GLIDER_POLICIES_SDBP_HH
+#define GLIDER_POLICIES_SDBP_HH
+
+#include <vector>
+
+#include "common/hash.hh"
+#include "common/saturating_counter.hh"
+#include "rrip.hh"
+
+namespace glider {
+namespace policies {
+
+/** Sampling dead-block predictor replacement. */
+class SdbpPolicy : public RrpvBase
+{
+  public:
+    std::string name() const override { return "SDBP"; }
+
+    void
+    reset(const sim::CacheGeometry &geom) override
+    {
+        RrpvBase::reset(geom);
+        for (auto &t : tables_)
+            t.assign(kTableEntries, SaturatingCounter(2, 1));
+        sampler_.assign(kSamplerSets * kSamplerWays, SamplerEntry{});
+        sampler_stride_ = geom.sets / kSamplerSets;
+        if (sampler_stride_ == 0)
+            sampler_stride_ = 1;
+    }
+
+    void
+    onHit(const sim::ReplacementAccess &access, std::uint32_t way)
+        override
+    {
+        maybeSample(access);
+        // A predicted-dead block that hits is revived.
+        rowFor(access.set)[way] = deadPredicted(access.pc)
+            ? kMaxRrpv - 1
+            : 0;
+    }
+
+    void
+    onInsert(const sim::ReplacementAccess &access, std::uint32_t way)
+        override
+    {
+        maybeSample(access);
+        rowFor(access.set)[way] = deadPredicted(access.pc)
+            ? kMaxRrpv
+            : kMaxRrpv - 1;
+    }
+
+  private:
+    struct SamplerEntry
+    {
+        std::uint64_t block = 0;
+        std::uint64_t last_pc = 0;
+        std::uint64_t lru = 0;
+        bool valid = false;
+    };
+
+    static constexpr std::size_t kSamplerSets = 32;
+    static constexpr std::size_t kSamplerWays = 12;
+    static constexpr std::size_t kTables = 3; //!< skewed prediction
+    static constexpr std::size_t kTableEntries = 4096;
+
+    std::size_t
+    tableIndex(std::size_t t, std::uint64_t pc) const
+    {
+        return static_cast<std::size_t>(
+            hashInto(hashCombine(pc, 0x9E37 + t), kTableEntries));
+    }
+
+    /** Majority vote of the skewed tables. */
+    bool
+    deadPredicted(std::uint64_t pc) const
+    {
+        int votes = 0;
+        for (std::size_t t = 0; t < kTables; ++t)
+            votes += tables_[t][tableIndex(t, pc)].msb();
+        return votes * 2 > static_cast<int>(kTables);
+    }
+
+    void
+    train(std::uint64_t pc, bool dead)
+    {
+        for (std::size_t t = 0; t < kTables; ++t) {
+            auto &c = tables_[t][tableIndex(t, pc)];
+            if (dead)
+                c.increment();
+            else
+                c.decrement();
+        }
+    }
+
+    /** Run the dedicated sampler for sampled sets. */
+    void
+    maybeSample(const sim::ReplacementAccess &access)
+    {
+        if (access.set % sampler_stride_ != 0)
+            return;
+        std::size_t sset = (access.set / sampler_stride_) % kSamplerSets;
+        SamplerEntry *row = &sampler_[sset * kSamplerWays];
+        ++clock_;
+
+        for (std::size_t w = 0; w < kSamplerWays; ++w) {
+            if (row[w].valid && row[w].block == access.block_addr) {
+                // Reused: the previous access was not the last touch.
+                train(row[w].last_pc, false);
+                row[w].last_pc = access.pc;
+                row[w].lru = clock_;
+                return;
+            }
+        }
+        // Miss in the sampler: evict LRU entry; its last toucher is
+        // now known to have been the final access — a dead block.
+        std::size_t victim = 0;
+        for (std::size_t w = 0; w < kSamplerWays; ++w) {
+            if (!row[w].valid) {
+                victim = w;
+                break;
+            }
+            if (row[w].lru < row[victim].lru)
+                victim = w;
+        }
+        if (row[victim].valid)
+            train(row[victim].last_pc, true);
+        row[victim] = SamplerEntry{access.block_addr, access.pc, clock_,
+                                   true};
+    }
+
+    std::vector<SaturatingCounter> tables_[kTables];
+    std::vector<SamplerEntry> sampler_;
+    std::uint64_t sampler_stride_ = 1;
+    std::uint64_t clock_ = 0;
+};
+
+} // namespace policies
+} // namespace glider
+
+#endif // GLIDER_POLICIES_SDBP_HH

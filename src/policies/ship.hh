@@ -1,0 +1,129 @@
+/**
+ * @file
+ * SHiP (Wu et al., MICRO'11) and SHiP++ (Young et al., CRC2'17):
+ * signature-based hit prediction. A per-line PC signature indexes a
+ * table of saturating counters (the SHCT) that learns whether lines
+ * inserted by that signature tend to be re-referenced. SHiP++ is the
+ * CRC2 second-place finisher the paper compares against; relative to
+ * SHiP it trains the SHCT more aggressively and promotes
+ * high-confidence signatures to the nearest insertion position.
+ */
+
+#ifndef GLIDER_POLICIES_SHIP_HH
+#define GLIDER_POLICIES_SHIP_HH
+
+#include <vector>
+
+#include "common/hash.hh"
+#include "common/saturating_counter.hh"
+#include "rrip.hh"
+
+namespace glider {
+namespace policies {
+
+/** Common SHCT + per-line signature machinery for SHiP variants. */
+class ShipBase : public RrpvBase
+{
+  public:
+    void
+    reset(const sim::CacheGeometry &geom) override
+    {
+        RrpvBase::reset(geom);
+        shct_.assign(kShctEntries, SaturatingCounter(3, 1));
+        line_sig_.assign(geom.sets * geom.ways, 0);
+        line_reused_.assign(geom.sets * geom.ways, 0);
+    }
+
+    void
+    onHit(const sim::ReplacementAccess &access, std::uint32_t way)
+        override
+    {
+        RrpvBase::onHit(access, way);
+        std::size_t idx = access.set * geom_.ways + way;
+        if (!line_reused_[idx]) {
+            line_reused_[idx] = 1;
+            shct_[line_sig_[idx]].increment();
+        } else if (trainOnEveryHit()) {
+            shct_[line_sig_[idx]].increment();
+        }
+    }
+
+    void
+    onEvict(const sim::ReplacementAccess &access, std::uint32_t way,
+            const sim::LineView &) override
+    {
+        std::size_t idx = access.set * geom_.ways + way;
+        if (!line_reused_[idx])
+            shct_[line_sig_[idx]].decrement();
+    }
+
+    void
+    onInsert(const sim::ReplacementAccess &access, std::uint32_t way)
+        override
+    {
+        std::size_t idx = access.set * geom_.ways + way;
+        std::uint32_t sig = signature(access.pc);
+        line_sig_[idx] = sig;
+        line_reused_[idx] = 0;
+        rowFor(access.set)[way] = insertionRrpv(shct_[sig]);
+    }
+
+  protected:
+    static constexpr std::size_t kShctEntries = 16 * 1024;
+
+    /** 14-bit PC signature. */
+    static std::uint32_t
+    signature(std::uint64_t pc)
+    {
+        return static_cast<std::uint32_t>(hashBits(pc, 14));
+    }
+
+    /** Variant hook: insertion position from the signature counter. */
+    virtual std::uint8_t insertionRrpv(const SaturatingCounter &c) const
+        = 0;
+    /** Variant hook: SHiP++ keeps training past the first reuse. */
+    virtual bool trainOnEveryHit() const { return false; }
+
+    std::vector<SaturatingCounter> shct_;
+    std::vector<std::uint32_t> line_sig_;
+    std::vector<std::uint8_t> line_reused_;
+};
+
+/** Original SHiP: distant insertion for never-reused signatures. */
+class ShipPolicy : public ShipBase
+{
+  public:
+    std::string name() const override { return "SHiP"; }
+
+  protected:
+    std::uint8_t
+    insertionRrpv(const SaturatingCounter &c) const override
+    {
+        return c.value() == 0 ? kMaxRrpv : kMaxRrpv - 1;
+    }
+};
+
+/** SHiP++: three-level insertion and continued SHCT training. */
+class ShipPPPolicy : public ShipBase
+{
+  public:
+    std::string name() const override { return "SHiP++"; }
+
+  protected:
+    std::uint8_t
+    insertionRrpv(const SaturatingCounter &c) const override
+    {
+        if (c.value() == 0)
+            return kMaxRrpv;
+        if (c.saturatedHigh())
+            return 0;
+        return kMaxRrpv - 1;
+    }
+
+    bool trainOnEveryHit() const override { return true; }
+};
+
+} // namespace policies
+} // namespace glider
+
+#endif // GLIDER_POLICIES_SHIP_HH

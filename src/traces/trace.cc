@@ -1,0 +1,84 @@
+#include "trace.hh"
+
+#include <cstdio>
+#include <cstring>
+
+namespace glider {
+namespace traces {
+
+namespace {
+
+constexpr char kMagic[8] = {'G', 'L', 'D', 'R', 'T', 'R', 'C', '1'};
+
+struct FileRecord
+{
+    std::uint64_t pc;
+    std::uint64_t address;
+    std::uint8_t core;
+    std::uint8_t is_write;
+    std::uint8_t pad[6];
+};
+
+static_assert(sizeof(FileRecord) == 24, "file record must be packed");
+
+} // namespace
+
+Trace
+Trace::slice(std::size_t first, std::size_t count) const
+{
+    Trace out(name_ + ".slice");
+    if (first >= records_.size())
+        return out;
+    std::size_t last = first + count;
+    if (last > records_.size())
+        last = records_.size();
+    for (std::size_t i = first; i < last; ++i)
+        out.push(records_[i]);
+    return out;
+}
+
+bool
+Trace::save(const std::string &path) const
+{
+    std::FILE *f = std::fopen(path.c_str(), "wb");
+    if (!f)
+        return false;
+    bool ok = std::fwrite(kMagic, sizeof(kMagic), 1, f) == 1;
+    std::uint64_t n = records_.size();
+    ok = ok && std::fwrite(&n, sizeof(n), 1, f) == 1;
+    for (std::size_t i = 0; ok && i < records_.size(); ++i) {
+        FileRecord fr{};
+        fr.pc = records_[i].pc;
+        fr.address = records_[i].address;
+        fr.core = records_[i].core;
+        fr.is_write = records_[i].is_write ? 1 : 0;
+        ok = std::fwrite(&fr, sizeof(fr), 1, f) == 1;
+    }
+    ok = std::fclose(f) == 0 && ok;
+    return ok;
+}
+
+bool
+Trace::load(const std::string &path, Trace &out)
+{
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    if (!f)
+        return false;
+    char magic[8];
+    bool ok = std::fread(magic, sizeof(magic), 1, f) == 1
+        && std::memcmp(magic, kMagic, sizeof(kMagic)) == 0;
+    std::uint64_t n = 0;
+    ok = ok && std::fread(&n, sizeof(n), 1, f) == 1;
+    out = Trace(path);
+    for (std::uint64_t i = 0; ok && i < n; ++i) {
+        FileRecord fr{};
+        ok = std::fread(&fr, sizeof(fr), 1, f) == 1;
+        if (ok)
+            out.push(fr.pc, fr.address, fr.is_write != 0, fr.core);
+    }
+    std::fclose(f);
+    return ok && out.size() == n;
+}
+
+} // namespace traces
+} // namespace glider

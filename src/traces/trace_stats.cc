@@ -1,0 +1,64 @@
+#include "trace_stats.hh"
+
+#include <cstdio>
+#include <unordered_set>
+
+namespace glider {
+namespace traces {
+
+TraceStats
+computeStats(const Trace &trace)
+{
+    TraceStats s;
+    s.name = trace.name();
+    std::unordered_set<std::uint64_t> pcs;
+    std::unordered_set<std::uint64_t> addrs;
+    for (const auto &rec : trace) {
+        ++s.accesses;
+        pcs.insert(rec.pc);
+        addrs.insert(blockAddr(rec.address));
+    }
+    s.unique_pcs = pcs.size();
+    s.unique_addrs = addrs.size();
+    if (s.unique_pcs)
+        s.accesses_per_pc = static_cast<double>(s.accesses)
+            / static_cast<double>(s.unique_pcs);
+    if (s.unique_addrs)
+        s.accesses_per_addr = static_cast<double>(s.accesses)
+            / static_cast<double>(s.unique_addrs);
+    return s;
+}
+
+namespace {
+
+/** Format a count with K/M suffixes like the paper's Table 2. */
+std::string
+human(double v)
+{
+    char buf[32];
+    if (v >= 1e6)
+        std::snprintf(buf, sizeof(buf), "%.2fM", v / 1e6);
+    else if (v >= 1e3)
+        std::snprintf(buf, sizeof(buf), "%.1fK", v / 1e3);
+    else
+        std::snprintf(buf, sizeof(buf), "%.0f", v);
+    return buf;
+}
+
+} // namespace
+
+std::string
+formatStatsRow(const TraceStats &s)
+{
+    char buf[256];
+    std::snprintf(buf, sizeof(buf), "%-14s %10s %8llu %10s %10s %10.1f",
+                  s.name.c_str(),
+                  human(static_cast<double>(s.accesses)).c_str(),
+                  static_cast<unsigned long long>(s.unique_pcs),
+                  human(static_cast<double>(s.unique_addrs)).c_str(),
+                  human(s.accesses_per_pc).c_str(), s.accesses_per_addr);
+    return buf;
+}
+
+} // namespace traces
+} // namespace glider

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Trace summary statistics — the columns of the paper's Table 2:
+ * number of accesses, unique PCs, unique block addresses, mean
+ * accesses per PC, and mean accesses per address.
+ */
+
+#ifndef GLIDER_TRACES_TRACE_STATS_HH
+#define GLIDER_TRACES_TRACE_STATS_HH
+
+#include <cstdint>
+#include <string>
+
+#include "trace.hh"
+
+namespace glider {
+namespace traces {
+
+/** Aggregate statistics for one trace (Table 2 row). */
+struct TraceStats
+{
+    std::string name;
+    std::uint64_t accesses = 0;
+    std::uint64_t unique_pcs = 0;
+    std::uint64_t unique_addrs = 0; //!< unique 64B block addresses
+    double accesses_per_pc = 0.0;
+    double accesses_per_addr = 0.0;
+};
+
+/** Compute Table 2 statistics for @p trace. */
+TraceStats computeStats(const Trace &trace);
+
+/** Render a Table 2-style row ("mcf  19.9M  650  0.87M  30K  22.9"). */
+std::string formatStatsRow(const TraceStats &s);
+
+} // namespace traces
+} // namespace glider
+
+#endif // GLIDER_TRACES_TRACE_STATS_HH

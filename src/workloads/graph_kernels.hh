@@ -1,0 +1,73 @@
+/**
+ * @file
+ * GAP-benchmark-style graph kernels (bfs, pr, cc, bc, sssp, tc)
+ * executed over synthetic power-law graphs in CSR form.
+ *
+ * The defining access structure of graph analytics — sequential scans
+ * of offset/edge arrays combined with scattered, degree-skewed gathers
+ * into per-vertex property arrays — emerges naturally from executing
+ * the real algorithms over the generated topology.
+ */
+
+#ifndef GLIDER_WORKLOADS_GRAPH_KERNELS_HH
+#define GLIDER_WORKLOADS_GRAPH_KERNELS_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hh"
+#include "kernel.hh"
+#include "recording_memory.hh"
+
+namespace glider {
+namespace workloads {
+
+/** A CSR graph with power-law-ish degree distribution. */
+struct CsrGraph
+{
+    std::vector<std::uint32_t> offsets; //!< size |V|+1
+    std::vector<std::uint32_t> targets; //!< size |E|
+
+    std::size_t numVertices() const { return offsets.size() - 1; }
+    std::size_t numEdges() const { return targets.size(); }
+};
+
+/**
+ * Build a graph whose edge endpoints are drawn from a power-law
+ * distribution (preferential-attachment flavour), then sorted into
+ * CSR. Deterministic in (vertices, avg_degree, seed).
+ */
+CsrGraph buildPowerLawGraph(std::size_t vertices, std::size_t avg_degree,
+                            std::uint64_t seed);
+
+/** Which GAP kernel to run. */
+enum class GraphAlgo { Bfs, PageRank, Components, Betweenness, Sssp,
+                       TriangleCount };
+
+/** One GAP kernel over a synthetic graph. */
+class GraphKernel : public Kernel
+{
+  public:
+    struct Params
+    {
+        std::string name = "bfs";
+        std::uint32_t kernel_id = 0;
+        std::uint64_t seed = 1;
+        std::uint64_t target_accesses = 2'000'000;
+        GraphAlgo algo = GraphAlgo::Bfs;
+        std::size_t vertices = 600'000;
+        std::size_t avg_degree = 10;
+    };
+
+    explicit GraphKernel(Params p) : p_(std::move(p)) {}
+    std::string name() const override { return p_.name; }
+    void run(traces::Trace &trace) override;
+
+  private:
+    Params p_;
+};
+
+} // namespace workloads
+} // namespace glider
+
+#endif // GLIDER_WORKLOADS_GRAPH_KERNELS_HH

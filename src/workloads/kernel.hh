@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Base interface for workload kernels: algorithms instrumented to emit
+ * memory-access traces (see recording_memory.hh for the rationale).
+ */
+
+#ifndef GLIDER_WORKLOADS_KERNEL_HH
+#define GLIDER_WORKLOADS_KERNEL_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "traces/trace.hh"
+
+namespace glider {
+namespace workloads {
+
+/**
+ * A runnable workload. Kernels are deterministic functions of their
+ * construction parameters (including the RNG seed), so a given kernel
+ * always emits the same trace.
+ */
+class Kernel
+{
+  public:
+    virtual ~Kernel() = default;
+
+    /** Human-readable kernel name (used as the trace name). */
+    virtual std::string name() const = 0;
+
+    /**
+     * Execute the kernel, appending roughly target_accesses records.
+     * Kernels check the budget at iteration boundaries, so the final
+     * trace may slightly exceed the target.
+     */
+    virtual void run(traces::Trace &trace) = 0;
+};
+
+} // namespace workloads
+} // namespace glider
+
+#endif // GLIDER_WORKLOADS_KERNEL_HH

@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Instrumented memory for the synthetic workload kernels.
+ *
+ * The paper evaluates on SimPoint traces of SPEC 2006/2017 and GAP
+ * (reference inputs), which we cannot redistribute. Instead, each
+ * workload kernel *executes a real algorithm* against TracedArray
+ * containers; every element access is recorded as an (PC, address)
+ * pair through RecordingMemory. The PC is a stable per-call-site
+ * identifier, mirroring how a static load instruction's PC tags every
+ * dynamic access it issues.
+ */
+
+#ifndef GLIDER_WORKLOADS_RECORDING_MEMORY_HH
+#define GLIDER_WORKLOADS_RECORDING_MEMORY_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/logging.hh"
+#include "traces/trace.hh"
+
+namespace glider {
+namespace workloads {
+
+/**
+ * Records accesses into a Trace and hands out non-overlapping address
+ * regions via a bump allocator, mimicking a process address space.
+ */
+class RecordingMemory
+{
+  public:
+    explicit RecordingMemory(traces::Trace &trace) : trace_(&trace) {}
+
+    /** Record a load of @p addr by static instruction @p pc. */
+    void
+    load(std::uint64_t pc, std::uint64_t addr)
+    {
+        trace_->push(pc, addr, false);
+    }
+
+    /** Record a store to @p addr by static instruction @p pc. */
+    void
+    store(std::uint64_t pc, std::uint64_t addr)
+    {
+        trace_->push(pc, addr, true);
+    }
+
+    /**
+     * Reserve @p bytes of address space, 4KB-page aligned so regions
+     * never share cache blocks.
+     * @return base address of the region.
+     */
+    std::uint64_t
+    allocate(std::uint64_t bytes)
+    {
+        constexpr std::uint64_t page = 4096;
+        std::uint64_t base = brk_;
+        brk_ += (bytes + page - 1) / page * page + page;
+        return base;
+    }
+
+    traces::Trace &trace() { return *trace_; }
+
+  private:
+    traces::Trace *trace_;
+    std::uint64_t brk_ = 0x100000000ull;
+};
+
+/**
+ * A vector whose element accesses are recorded. The algorithm runs
+ * for real (values are stored and returned), so access streams have
+ * genuine data-dependent structure.
+ */
+template <typename T>
+class TracedArray
+{
+  public:
+    /** Allocate @p n elements of backing storage and address space. */
+    TracedArray(RecordingMemory &mem, std::size_t n, T init = T())
+        : mem_(&mem), data_(n, init),
+          base_(mem.allocate(n * sizeof(T)))
+    {
+    }
+
+    /** Traced load of element @p i by call site @p pc. */
+    const T &
+    get(std::uint64_t pc, std::size_t i)
+    {
+        GLIDER_ASSERT(i < data_.size());
+        mem_->load(pc, base_ + i * sizeof(T));
+        return data_[i];
+    }
+
+    /** Traced store of element @p i by call site @p pc. */
+    void
+    set(std::uint64_t pc, std::size_t i, const T &v)
+    {
+        GLIDER_ASSERT(i < data_.size());
+        mem_->store(pc, base_ + i * sizeof(T));
+        data_[i] = v;
+    }
+
+    /** Untraced access for setup/verification code. */
+    T &raw(std::size_t i) { return data_[i]; }
+    const T &raw(std::size_t i) const { return data_[i]; }
+
+    std::size_t size() const { return data_.size(); }
+    std::uint64_t base() const { return base_; }
+
+  private:
+    RecordingMemory *mem_;
+    std::vector<T> data_;
+    std::uint64_t base_;
+};
+
+/**
+ * Stable PC namespace helper: each kernel gets a disjoint PC block so
+ * call sites never collide across kernels mixed into one trace.
+ */
+class PcBlock
+{
+  public:
+    /** @param kernel_id Disjoint id per kernel instance. */
+    explicit PcBlock(std::uint32_t kernel_id)
+        : base_(0x400000ull + static_cast<std::uint64_t>(kernel_id) * 0x10000ull)
+    {
+    }
+
+    /** PC of call site @p site within this kernel. */
+    std::uint64_t
+    pc(std::uint32_t site) const
+    {
+        return base_ + site * 4; // x86-ish instruction spacing
+    }
+
+  private:
+    std::uint64_t base_;
+};
+
+} // namespace workloads
+} // namespace glider
+
+#endif // GLIDER_WORKLOADS_RECORDING_MEMORY_HH

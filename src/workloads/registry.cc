@@ -1,0 +1,302 @@
+#include "registry.hh"
+
+#include <map>
+#include <mutex>
+
+#include "common/logging.hh"
+#include "graph_kernels.hh"
+#include "scheduler_kernel.hh"
+#include "spec_kernels.hh"
+
+namespace glider {
+namespace workloads {
+
+namespace {
+
+/** Kernel family selector for the registry table. */
+enum class Family
+{
+    NetworkSimplex,
+    Scheduler,
+    SparseSolver,
+    ScoreTable,
+    GridSearch,
+    Stencil,
+    Streaming,
+    Compression,
+    TreeWalk,
+    Graph,
+};
+
+struct Entry
+{
+    const char *name;
+    Suite suite;
+    Family family;
+    //! Family-specific size knob: grid/array elems, vertices, nodes...
+    std::size_t scale;
+    //! For Family::Graph: which algorithm.
+    GraphAlgo algo;
+};
+
+/**
+ * The registry table. kernel_id (PC namespace) is the index into this
+ * table, so PCs are stable across runs and disjoint across workloads.
+ * `scale` diversifies working-set sizes within a family so same-family
+ * benchmarks still behave differently at the LLC.
+ */
+const Entry kTable[] = {
+    // SPEC CPU2006
+    {"astar", Suite::Spec2006, Family::GridSearch, 1024, GraphAlgo::Bfs},
+    {"bwaves", Suite::Spec2006, Family::Stencil, 330'000, GraphAlgo::Bfs},
+    {"bzip2", Suite::Spec2006, Family::Compression, 800'000,
+     GraphAlgo::Bfs},
+    {"cactusADM", Suite::Spec2006, Family::Stencil, 260'000,
+     GraphAlgo::Bfs},
+    {"calculix", Suite::Spec2006, Family::SparseSolver, 36'000,
+     GraphAlgo::Bfs},
+    {"gcc", Suite::Spec2006, Family::TreeWalk, 350'000, GraphAlgo::Bfs},
+    {"GemsFDTD", Suite::Spec2006, Family::Stencil, 420'000,
+     GraphAlgo::Bfs},
+    {"lbm", Suite::Spec2006, Family::Stencil, 380'000, GraphAlgo::Bfs},
+    {"leslie3d", Suite::Spec2006, Family::Stencil, 240'000,
+     GraphAlgo::Bfs},
+    {"libquantum", Suite::Spec2006, Family::Streaming, 1'000'000,
+     GraphAlgo::Bfs},
+    {"mcf", Suite::Spec2006, Family::NetworkSimplex, 1'200'000,
+     GraphAlgo::Bfs},
+    {"milc", Suite::Spec2006, Family::Stencil, 300'000, GraphAlgo::Bfs},
+    {"omnetpp", Suite::Spec2006, Family::Scheduler, 262'144,
+     GraphAlgo::Bfs},
+    {"soplex", Suite::Spec2006, Family::SparseSolver, 44'000,
+     GraphAlgo::Bfs},
+    {"sphinx3", Suite::Spec2006, Family::ScoreTable, 4096, GraphAlgo::Bfs},
+    {"tonto", Suite::Spec2006, Family::SparseSolver, 30'000,
+     GraphAlgo::Bfs},
+    {"wrf", Suite::Spec2006, Family::Stencil, 280'000, GraphAlgo::Bfs},
+    {"xalancbmk", Suite::Spec2006, Family::TreeWalk, 500'000,
+     GraphAlgo::Bfs},
+    {"zeusmp", Suite::Spec2006, Family::Stencil, 310'000,
+     GraphAlgo::Bfs},
+    // SPEC CPU2017
+    {"603.bwaves", Suite::Spec2017, Family::Stencil, 350'000,
+     GraphAlgo::Bfs},
+    {"605.mcf", Suite::Spec2017, Family::NetworkSimplex, 1'500'000,
+     GraphAlgo::Bfs},
+    {"619.lbm", Suite::Spec2017, Family::Stencil, 400'000,
+     GraphAlgo::Bfs},
+    {"620.omnetpp", Suite::Spec2017, Family::Scheduler, 320'000,
+     GraphAlgo::Bfs},
+    {"621.wrf", Suite::Spec2017, Family::Stencil, 270'000,
+     GraphAlgo::Bfs},
+    {"627.cam4", Suite::Spec2017, Family::Stencil, 290'000,
+     GraphAlgo::Bfs},
+    {"628.pop2", Suite::Spec2017, Family::Stencil, 250'000,
+     GraphAlgo::Bfs},
+    {"649.fotonik3d", Suite::Spec2017, Family::Stencil, 360'000,
+     GraphAlgo::Bfs},
+    {"654.roms", Suite::Spec2017, Family::Stencil, 320'000,
+     GraphAlgo::Bfs},
+    {"657.xz", Suite::Spec2017, Family::Compression, 1'000'000,
+     GraphAlgo::Bfs},
+    // GAP
+    {"bc", Suite::Gap, Family::Graph, 300'000, GraphAlgo::Betweenness},
+    {"bfs", Suite::Gap, Family::Graph, 400'000, GraphAlgo::Bfs},
+    {"cc", Suite::Gap, Family::Graph, 250'000, GraphAlgo::Components},
+    {"pr", Suite::Gap, Family::Graph, 150'000, GraphAlgo::PageRank},
+    {"sssp", Suite::Gap, Family::Graph, 90'000, GraphAlgo::Sssp},
+    {"tc", Suite::Gap, Family::Graph, 120'000, GraphAlgo::TriangleCount},
+};
+
+constexpr std::size_t kTableSize = sizeof(kTable) / sizeof(kTable[0]);
+
+const Entry &
+find(const std::string &name)
+{
+    for (const auto &e : kTable) {
+        if (name == e.name)
+            return e;
+    }
+    GLIDER_FATAL("unknown workload: " + name);
+}
+
+std::uint32_t
+indexOf(const Entry &e)
+{
+    return static_cast<std::uint32_t>(&e - kTable);
+}
+
+} // namespace
+
+std::vector<std::string>
+allWorkloads()
+{
+    std::vector<std::string> names;
+    names.reserve(kTableSize);
+    for (const auto &e : kTable)
+        names.emplace_back(e.name);
+    return names;
+}
+
+std::vector<std::string>
+figure11Workloads()
+{
+    // Figure 11/12's 33 workloads: everything except 628.pop2 and
+    // 657.xz (which only appear in the Figure 10 accuracy study).
+    std::vector<std::string> names;
+    for (const auto &e : kTable) {
+        std::string n = e.name;
+        if (n != "628.pop2" && n != "657.xz")
+            names.push_back(n);
+    }
+    return names;
+}
+
+std::vector<std::string>
+figure10Workloads()
+{
+    return {"603.bwaves", "605.mcf", "620.omnetpp", "621.wrf",
+            "628.pop2",   "654.roms", "657.xz",     "bc",
+            "bfs",        "bzip2",    "cactusADM",  "cc",
+            "GemsFDTD",   "lbm",      "leslie3d",   "mcf",
+            "omnetpp",    "pr",       "soplex",     "sphinx3",
+            "sssp",       "tc",       "wrf"};
+}
+
+std::vector<std::string>
+offlineSubset()
+{
+    return {"mcf", "omnetpp", "soplex", "sphinx3", "astar", "lbm"};
+}
+
+Suite
+suiteOf(const std::string &name)
+{
+    return find(name).suite;
+}
+
+std::unique_ptr<Kernel>
+makeWorkload(const std::string &name, std::uint64_t target_accesses)
+{
+    const Entry &e = find(name);
+    std::uint32_t id = indexOf(e);
+    // Seed differs per workload so same-family benchmarks diverge.
+    std::uint64_t seed = 0xC0FFEEull + id * 7919;
+
+    switch (e.family) {
+      case Family::NetworkSimplex: {
+        NetworkSimplexKernel::Params p;
+        p.name = name;
+        p.kernel_id = id;
+        p.seed = seed;
+        p.target_accesses = target_accesses;
+        p.nodes = e.scale;
+        return std::make_unique<NetworkSimplexKernel>(p);
+      }
+      case Family::Scheduler: {
+        SchedulerKernel::Params p;
+        p.name = name;
+        p.kernel_id = id;
+        p.seed = seed;
+        p.target_accesses = target_accesses;
+        p.big_pool_msgs = e.scale;
+        return std::make_unique<SchedulerKernel>(p);
+      }
+      case Family::SparseSolver: {
+        SparseSolverKernel::Params p;
+        p.name = name;
+        p.kernel_id = id;
+        p.seed = seed;
+        p.target_accesses = target_accesses;
+        p.rows = e.scale;
+        p.vec_elems = e.scale;
+        return std::make_unique<SparseSolverKernel>(p);
+      }
+      case Family::ScoreTable: {
+        ScoreTableKernel::Params p;
+        p.name = name;
+        p.kernel_id = id;
+        p.seed = seed;
+        p.target_accesses = target_accesses;
+        p.tables = e.scale;
+        return std::make_unique<ScoreTableKernel>(p);
+      }
+      case Family::GridSearch: {
+        GridSearchKernel::Params p;
+        p.name = name;
+        p.kernel_id = id;
+        p.seed = seed;
+        p.target_accesses = target_accesses;
+        p.width = e.scale;
+        p.height = e.scale;
+        return std::make_unique<GridSearchKernel>(p);
+      }
+      case Family::Stencil: {
+        StencilKernel::Params p;
+        p.name = name;
+        p.kernel_id = id;
+        p.seed = seed;
+        p.target_accesses = target_accesses;
+        p.grid_elems = e.scale;
+        return std::make_unique<StencilKernel>(p);
+      }
+      case Family::Streaming: {
+        StreamingKernel::Params p;
+        p.name = name;
+        p.kernel_id = id;
+        p.seed = seed;
+        p.target_accesses = target_accesses;
+        p.elems = e.scale;
+        return std::make_unique<StreamingKernel>(p);
+      }
+      case Family::Compression: {
+        CompressionKernel::Params p;
+        p.name = name;
+        p.kernel_id = id;
+        p.seed = seed;
+        p.target_accesses = target_accesses;
+        p.input_elems = e.scale;
+        return std::make_unique<CompressionKernel>(p);
+      }
+      case Family::TreeWalk: {
+        TreeWalkKernel::Params p;
+        p.name = name;
+        p.kernel_id = id;
+        p.seed = seed;
+        p.target_accesses = target_accesses;
+        p.node_count = e.scale;
+        return std::make_unique<TreeWalkKernel>(p);
+      }
+      case Family::Graph: {
+        GraphKernel::Params p;
+        p.name = name;
+        p.kernel_id = id;
+        p.seed = seed;
+        p.target_accesses = target_accesses;
+        p.vertices = e.scale;
+        p.algo = e.algo;
+        return std::make_unique<GraphKernel>(p);
+      }
+    }
+    GLIDER_PANIC("unreachable workload family");
+}
+
+const traces::Trace &
+cachedTrace(const std::string &name, std::uint64_t target_accesses)
+{
+    static std::mutex mutex;
+    static std::map<std::pair<std::string, std::uint64_t>,
+                    std::unique_ptr<traces::Trace>> cache;
+    std::lock_guard<std::mutex> lock(mutex);
+    auto key = std::make_pair(name, target_accesses);
+    auto it = cache.find(key);
+    if (it == cache.end()) {
+        auto trace = std::make_unique<traces::Trace>(name);
+        makeWorkload(name, target_accesses)->run(*trace);
+        it = cache.emplace(key, std::move(trace)).first;
+    }
+    return *it->second;
+}
+
+} // namespace workloads
+} // namespace glider

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Registry of named workloads.
+ *
+ * The paper evaluates 33 memory-intensive applications from SPEC
+ * CPU2006, SPEC CPU2017, and GAP (Figure 11/12), a 23-benchmark subset
+ * for online accuracy (Figure 10), and a 6-benchmark subset for
+ * offline analysis (Table 2, Figures 4–6, 9, 14, 15). This registry
+ * exposes the same names, each bound to a synthetic kernel whose
+ * access structure imitates the named benchmark (see DESIGN.md for
+ * the substitution rationale).
+ */
+
+#ifndef GLIDER_WORKLOADS_REGISTRY_HH
+#define GLIDER_WORKLOADS_REGISTRY_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "kernel.hh"
+
+namespace glider {
+namespace workloads {
+
+/** Suite a workload belongs to, for Figure 11/12 suite averages. */
+enum class Suite { Spec2006, Spec2017, Gap };
+
+/** All workload names known to the registry. */
+std::vector<std::string> allWorkloads();
+
+/** The 33 names of the paper's Figure 11/12 single-core evaluation. */
+std::vector<std::string> figure11Workloads();
+
+/** The 23 names of the paper's Figure 10 online-accuracy study. */
+std::vector<std::string> figure10Workloads();
+
+/** The 6 offline-analysis names of Table 2 / Figures 4–6, 9, 14, 15. */
+std::vector<std::string> offlineSubset();
+
+/** Suite of a registered workload. Fatal on unknown names. */
+Suite suiteOf(const std::string &name);
+
+/**
+ * Instantiate the kernel for @p name with the given access budget.
+ * Fatal on unknown names.
+ */
+std::unique_ptr<Kernel> makeWorkload(const std::string &name,
+                                     std::uint64_t target_accesses);
+
+/**
+ * Generate (and memoise within the process) the trace for @p name.
+ * All benches share one generation per (name, length).
+ */
+const traces::Trace &cachedTrace(const std::string &name,
+                                 std::uint64_t target_accesses);
+
+} // namespace workloads
+} // namespace glider
+
+#endif // GLIDER_WORKLOADS_REGISTRY_HH

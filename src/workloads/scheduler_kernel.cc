@@ -1,0 +1,143 @@
+#include "scheduler_kernel.hh"
+
+#include "common/hash.hh"
+#include "common/rng.hh"
+
+namespace glider {
+namespace workloads {
+
+void
+SchedulerKernel::run(traces::Trace &trace)
+{
+    RecordingMemory mem(trace);
+    PcBlock pcs(p_.kernel_id);
+    Rng rng(p_.seed);
+    std::size_t start = trace.size();
+
+    // Message objects are four cache blocks each (32 x 8B fields),
+    // one block per scheduleAt() target PC. Four distinct lines per
+    // message (a) make the recycled pool big enough to thrash LRU
+    // while still fitting an OPT-managed LLC, and (b) put enough
+    // unique PCs into the LLC access stream that a k=5 PCHR flushes
+    // the previous event's caller — leaving exactly the *current*
+    // caller as the distinguishing context feature.
+    TracedArray<std::uint64_t> ifg_pool(mem, p_.ifg_pool_msgs * 32);
+    TracedArray<std::uint64_t> jam_pool(mem, p_.big_pool_msgs * 32);
+    TracedArray<std::uint64_t> tx_pool(mem, p_.big_pool_msgs * 32);
+    TracedArray<std::uint64_t> heap(mem, p_.heap_capacity);
+    // Per-caller working buffers, cycled sequentially: larger than
+    // the L2, so the caller PCs are visible in the LLC stream (an
+    // L1-resident marker would never reach the replacement policy).
+    TracedArray<std::uint64_t> ifg_buf(mem, p_.caller_buf_elems);
+    TracedArray<std::uint64_t> jam_buf(mem, p_.caller_buf_elems);
+    TracedArray<std::uint64_t> tx_buf(mem, p_.caller_buf_elems);
+
+    std::size_t next_ifg = 0, next_jam = 0, next_tx = 0;
+    std::size_t buf_ifg = 0, buf_jam = 0, buf_tx = 0;
+    std::size_t heap_n = 0;
+
+    // Caller-marker call sites with pairwise-distinct 4-bit feature
+    // hashes, also distinct from the four scheduleAt() target PCs
+    // (see the TreeWalk kernel for the rationale: the context here
+    // is concentrated in few PCs, so degenerate feature collisions
+    // would erase the signal under study rather than model anything).
+    std::uint64_t caller_pc[6];
+    {
+        bool used[16] = {};
+        for (std::uint32_t t = SiteTarget0; t <= SiteTarget3; ++t)
+            used[hashBits(pcs.pc(t), 4)] = true;
+        int found = 0;
+        for (std::uint32_t site = 16; site < 96 && found < 6; ++site) {
+            auto slot = hashBits(pcs.pc(site), 4);
+            if (!used[slot]) {
+                used[slot] = true;
+                caller_pc[found++] = pcs.pc(site);
+            }
+        }
+        anchor_pc_ = caller_pc[0];
+        for (int i = 0; i < 6; ++i)
+            caller_pcs_[i] = caller_pc[i];
+    }
+
+    // scheduleAt(t, msg): the four target load/store PCs dereference
+    // the message object, then the event is pushed into the
+    // future-event set (a small, heavily reused binary heap).
+    auto schedule_at = [&](TracedArray<std::uint64_t> &pool,
+                           std::size_t msg) {
+        pool.get(pcs.pc(SiteTarget0), msg * 32);      // msg->sentFrom
+        pool.set(pcs.pc(SiteTarget1), msg * 32 + 8, heap_n); // arrival
+        pool.get(pcs.pc(SiteTarget2), msg * 32 + 16); // ev.messageSent
+        pool.get(pcs.pc(SiteTarget3), msg * 32 + 24); // msgQueue.insert
+        if (heap_n + 1 < p_.heap_capacity) {
+            std::size_t i = ++heap_n;
+            heap.set(pcs.pc(SiteHeapWrite), i, rng.below(1u << 20));
+            while (i > 1) {
+                auto parent = heap.get(pcs.pc(SiteHeapRead), i / 2);
+                auto self = heap.get(pcs.pc(SiteHeapRead), i);
+                if (parent <= self)
+                    break;
+                heap.set(pcs.pc(SiteHeapWrite), i / 2, self);
+                heap.set(pcs.pc(SiteHeapWrite), i, parent);
+                i /= 2;
+            }
+        }
+    };
+
+    while (!budgetDone(trace, start)) {
+        double u = rng.uniform();
+        // Each caller touches its working buffer from two distinct
+        // call sites: with the four scheduleAt() targets that makes
+        // six unique LLC-visible PCs per event, so a k=5 PCHR always
+        // flushes at least the leading marker of the previous caller
+        // — the first marker PC of each pair is then present iff its
+        // caller issued the current event.
+        if (u < p_.ifg_fraction) {
+            // scheduleEndIFGPeriod(): recycled small pool — the loads
+            // below will be re-touched soon, so OPT caches them.
+            ifg_buf.get(caller_pc[0],
+                        (buf_ifg += 8) % p_.caller_buf_elems);
+            ifg_buf.get(caller_pc[1],
+                        (buf_ifg + p_.caller_buf_elems / 2)
+                            % p_.caller_buf_elems);
+            std::size_t msg = next_ifg++ % p_.ifg_pool_msgs;
+            schedule_at(ifg_pool, msg);
+        } else if (u < p_.ifg_fraction + (1.0 - p_.ifg_fraction) / 2) {
+            // sendJamSignal(): fresh message from a huge pool — the
+            // object will not be touched again for an entire pool
+            // cycle, so OPT declines to cache it.
+            jam_buf.get(caller_pc[2],
+                        (buf_jam += 8) % p_.caller_buf_elems);
+            jam_buf.get(caller_pc[3],
+                        (buf_jam + p_.caller_buf_elems / 2)
+                            % p_.caller_buf_elems);
+            std::size_t msg = next_jam++ % p_.big_pool_msgs;
+            schedule_at(jam_pool, msg);
+        } else {
+            // scheduleEndTXPeriod(): likewise cache-averse.
+            tx_buf.get(caller_pc[4],
+                       (buf_tx += 8) % p_.caller_buf_elems);
+            tx_buf.get(caller_pc[5],
+                       (buf_tx + p_.caller_buf_elems / 2)
+                           % p_.caller_buf_elems);
+            std::size_t msg = next_tx++ % p_.big_pool_msgs;
+            schedule_at(tx_pool, msg);
+        }
+
+        // Drain a few events so the heap stays small and hot.
+        if (heap_n > 4) {
+            heap.get(pcs.pc(SitePopRead), 1);
+            auto last = heap.get(pcs.pc(SitePopRead), heap_n--);
+            heap.set(pcs.pc(SiteHeapWrite), 1, last);
+        }
+    }
+}
+
+bool
+SchedulerKernel::budgetDone(const traces::Trace &trace,
+                             std::size_t start) const
+{
+    return trace.size() - start >= p_.target_accesses;
+}
+
+} // namespace workloads
+} // namespace glider

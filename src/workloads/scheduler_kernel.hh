@@ -1,0 +1,100 @@
+/**
+ * @file
+ * omnetpp-like discrete-event network-simulator kernel.
+ *
+ * This kernel reproduces the program structure the paper dissects in
+ * §5.5 (Table 4, Figures 16/17): several caller methods —
+ * scheduleEndIFGPeriod(), sendJamSignal(), scheduleEndTXPeriod() —
+ * each pass a message object to a shared scheduleAt() method whose
+ * load instructions (the *target PCs*) dereference the message.
+ * endIFG messages come from a small recycled pool (cache-friendly);
+ * jam/TX messages cycle through pools far larger than the LLC
+ * (cache-averse). Whether a target PC's access is friendly therefore
+ * depends on which caller (*anchor PC*) appears in the control-flow
+ * history, not on the target PC itself.
+ */
+
+#ifndef GLIDER_WORKLOADS_SCHEDULER_KERNEL_HH
+#define GLIDER_WORKLOADS_SCHEDULER_KERNEL_HH
+
+#include <array>
+
+#include "kernel.hh"
+#include "recording_memory.hh"
+
+namespace glider {
+namespace workloads {
+
+/** Discrete-event scheduler with context-dependent message locality. */
+class SchedulerKernel : public Kernel
+{
+  public:
+    struct Params
+    {
+        std::string name = "omnetpp";
+        std::uint32_t kernel_id = 0;
+        std::uint64_t seed = 1;
+        std::uint64_t target_accesses = 2'000'000;
+        std::size_t ifg_pool_msgs = 6144;     //!< ~1.5 MB (256B msgs)
+        std::size_t big_pool_msgs = 262'144;  //!< ~67 MB per big pool
+        std::size_t heap_capacity = 8192;     //!< future-event set
+        std::size_t caller_buf_elems = 65'536; //!< 512KB per caller
+        double ifg_fraction = 0.5;            //!< share of IFG events
+    };
+
+    /** Call-site indices within the kernel's PC block. */
+    enum Site : std::uint32_t
+    {
+        SiteCallerIfg = 0,   //!< anchor PC inside scheduleEndIFGPeriod()
+        SiteCallerJam = 1,   //!< marker inside sendJamSignal()
+        SiteCallerTx = 2,    //!< marker inside scheduleEndTXPeriod()
+        SiteTarget0 = 3,     //!< scheduleAt(): msg->setSentFrom(...)
+        SiteTarget1 = 4,     //!< scheduleAt(): msg->setArrival(...)
+        SiteTarget2 = 5,     //!< scheduleAt(): ev.messageSent(msg)
+        SiteTarget3 = 6,     //!< scheduleAt(): msgQueue.insert(msg)
+        SiteHeapRead = 7,
+        SiteHeapWrite = 8,
+        SitePopRead = 9,
+        SiteCallerIfg2 = 10, //!< second call site in the IFG caller
+        SiteCallerJam2 = 11,
+        SiteCallerTx2 = 12,
+    };
+
+    explicit SchedulerKernel(Params p) : p_(std::move(p)) {}
+    std::string name() const override { return p_.name; }
+    void run(traces::Trace &trace) override;
+
+    /**
+     * The anchor PC the paper's Table 4 identifies (the first marker
+     * site inside scheduleEndIFGPeriod()); valid after run().
+     */
+    std::uint64_t anchorPc() const { return anchor_pc_; }
+
+    /**
+     * All six caller-marker PCs (IFG, jam, TX pairs in order);
+     * valid after run().
+     */
+    const std::array<std::uint64_t, 6> &callerPcs() const
+    {
+        return caller_pcs_;
+    }
+
+    /** The four scheduleAt() target PCs of Table 4. */
+    std::uint64_t targetPc(unsigned i) const
+    {
+        return PcBlock(p_.kernel_id).pc(SiteTarget0 + i);
+    }
+
+  private:
+    /** True once the trace has grown by target_accesses. */
+    bool budgetDone(const traces::Trace &trace, std::size_t start) const;
+
+    Params p_;
+    std::uint64_t anchor_pc_ = 0;
+    std::array<std::uint64_t, 6> caller_pcs_{};
+};
+
+} // namespace workloads
+} // namespace glider
+
+#endif // GLIDER_WORKLOADS_SCHEDULER_KERNEL_HH

@@ -1,0 +1,501 @@
+#include "spec_kernels.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+
+#include "common/hash.hh"
+
+namespace glider {
+namespace workloads {
+
+namespace {
+
+/** True once @p trace has grown by the kernel's access budget. */
+bool
+budgetDone(const traces::Trace &trace, std::size_t start,
+           std::uint64_t target)
+{
+    return trace.size() - start >= target;
+}
+
+} // namespace
+
+std::size_t
+zipfDraw(Rng &rng, std::size_t n, double s)
+{
+    // Power-law approximation of a Zipf(s) draw: skew a uniform draw
+    // toward index 0 with exponent growing in s. Exact Zipf sampling
+    // would need per-(n, s) harmonic tables; the predictors under
+    // study only care that a small head of indices absorbs most
+    // probability mass, which this preserves.
+    double gamma = 1.0 + 3.0 * s;
+    double u = rng.uniform();
+    auto idx = static_cast<std::size_t>(
+        static_cast<double>(n) * std::pow(u, gamma));
+    return idx >= n ? n - 1 : idx;
+}
+
+void
+NetworkSimplexKernel::run(traces::Trace &trace)
+{
+    RecordingMemory mem(trace);
+    PcBlock pcs(p_.kernel_id);
+    Rng rng(p_.seed);
+    std::size_t start = trace.size();
+
+    TracedArray<std::uint64_t> arc_head(mem, p_.arcs);
+    TracedArray<std::uint64_t> arc_tail(mem, p_.arcs);
+    TracedArray<std::int64_t> arc_cost(mem, p_.arcs);
+    TracedArray<std::int64_t> node_pot(mem, p_.nodes);
+    // Hot spanning-tree slice: 64B records, one cache block per node.
+    TracedArray<std::uint64_t> tree(mem, p_.hot_tree * 8);
+    std::vector<std::size_t> tree_parent(p_.hot_tree, 0);
+
+    for (std::size_t i = 0; i < p_.arcs; ++i) {
+        arc_head.raw(i) = rng.below(p_.nodes);
+        arc_tail.raw(i) = rng.below(p_.nodes);
+        arc_cost.raw(i) = rng.range(-100, 100);
+    }
+    for (std::size_t i = 1; i < p_.hot_tree; ++i)
+        tree_parent[i] = rng.below(i);
+
+    while (!budgetDone(trace, start, p_.target_accesses)) {
+        // Price-out pass: stream the arc arrays, chasing into the
+        // node-potential array at data-dependent indices.
+        for (std::size_t i = 0; i < p_.arcs; ++i) {
+            auto h = arc_head.get(pcs.pc(0), i);
+            auto t = arc_tail.get(pcs.pc(1), i);
+            auto c = arc_cost.get(pcs.pc(2), i);
+            auto red = c + node_pot.get(pcs.pc(3), h)
+                - node_pot.get(pcs.pc(4), t);
+            if (red < 0 && (i & 31) == 0) {
+                // Pivot: walk the hot tree path back toward the root,
+                // adjusting potentials (heavily reused working set).
+                std::size_t v = 1 + rng.below(p_.hot_tree - 1);
+                while (v != 0) {
+                    auto pot = tree.get(pcs.pc(5), v * 8);
+                    tree.set(pcs.pc(6), v * 8,
+                             pot + static_cast<std::uint64_t>(-red));
+                    v = tree_parent[v];
+                }
+                node_pot.set(pcs.pc(7), h,
+                             node_pot.get(pcs.pc(8), h) + red);
+            }
+            if ((i & 4095) == 0
+                && budgetDone(trace, start, p_.target_accesses)) {
+                return;
+            }
+        }
+    }
+}
+
+void
+SparseSolverKernel::run(traces::Trace &trace)
+{
+    RecordingMemory mem(trace);
+    PcBlock pcs(p_.kernel_id);
+    Rng rng(p_.seed);
+    std::size_t start = trace.size();
+
+    std::size_t nnz = p_.rows * p_.nnz_per_row;
+    TracedArray<std::uint64_t> col_idx(mem, nnz);
+    TracedArray<std::int64_t> vals(mem, nnz);
+    TracedArray<std::int64_t> x(mem, p_.vec_elems, 1);
+    TracedArray<std::int64_t> y(mem, p_.rows);
+
+    for (std::size_t i = 0; i < nnz; ++i) {
+        col_idx.raw(i) = rng.below(p_.vec_elems);
+        vals.raw(i) = rng.range(-8, 8);
+    }
+
+    while (!budgetDone(trace, start, p_.target_accesses)) {
+        // One SpMV sweep: the matrix streams (cyclic reuse far beyond
+        // LLC capacity), the x-vector gathers hit a mid-sized hot set.
+        for (std::size_t r = 0; r < p_.rows; ++r) {
+            std::int64_t acc = 0;
+            for (std::size_t j = 0; j < p_.nnz_per_row; ++j) {
+                std::size_t e = r * p_.nnz_per_row + j;
+                auto ci = col_idx.get(pcs.pc(0), e);
+                auto v = vals.get(pcs.pc(1), e);
+                acc += v * x.get(pcs.pc(2), ci);
+            }
+            y.set(pcs.pc(3), r, acc);
+            if ((r & 2047) == 0
+                && budgetDone(trace, start, p_.target_accesses)) {
+                return;
+            }
+        }
+        // Scale pass: refresh x from y (sequential, short).
+        for (std::size_t i = 0; i < p_.vec_elems; ++i) {
+            auto v = y.get(pcs.pc(4), i % p_.rows);
+            x.set(pcs.pc(5), i, (v >> 4) + 1);
+        }
+    }
+}
+
+void
+ScoreTableKernel::run(traces::Trace &trace)
+{
+    RecordingMemory mem(trace);
+    PcBlock pcs(p_.kernel_id);
+    Rng rng(p_.seed);
+    std::size_t start = trace.size();
+
+    TracedArray<std::int64_t> tables(mem, p_.tables * p_.table_elems, 3);
+    TracedArray<std::int64_t> frame(mem, p_.frame_elems, 5);
+    TracedArray<std::int64_t> scratch(mem, 64, 7);
+
+    while (!budgetDone(trace, start, p_.target_accesses)) {
+        // Per-frame feature read (small, cache-resident noise).
+        for (std::size_t e = 0; e < p_.frame_elems; e += 8)
+            frame.get(pcs.pc(0), e);
+
+        // Two beam widths with their own inlined scoring loops (PC
+        // sets 3..6 for the narrow beam, 7..10 for the wide beam):
+        // the narrow beam probes the hot Zipf head (LLC-resident),
+        // the wide beam streams through the cold tail.
+        bool narrow = rng.chance(0.5);
+        std::size_t head = p_.tables / 16;
+        for (std::size_t probe = 0; probe < 24; ++probe) {
+            std::size_t t = narrow
+                ? zipfDraw(rng, head, p_.zipf_s)
+                : head + rng.below(p_.tables - head);
+            std::uint32_t pc_base = narrow ? 3 : 7;
+            std::int64_t score = 0;
+            for (std::size_t e = 0; e < p_.table_elems; e += 8) {
+                score += tables.get(pcs.pc(pc_base + (e / 8) % 4),
+                                    t * p_.table_elems + e);
+            }
+            scratch.raw(0) = score; // keep the computation live
+        }
+    }
+}
+
+void
+GridSearchKernel::run(traces::Trace &trace)
+{
+    RecordingMemory mem(trace);
+    PcBlock pcs(p_.kernel_id);
+    Rng rng(p_.seed);
+    std::size_t start = trace.size();
+
+    std::size_t cells = p_.width * p_.height;
+    TracedArray<std::uint64_t> occupancy(mem, cells);
+    // gscore packs (episode epoch << 40 | g): values written by
+    // earlier episodes read as "unset" without a reset sweep, so
+    // repeated searches over the same route re-touch the same
+    // corridor of cells (the cross-episode reuse signal).
+    TracedArray<std::uint64_t> gscore(mem, cells, 0);
+    TracedArray<std::uint64_t> heap(mem, 65536);
+    std::uint64_t epoch = 0;
+
+    for (std::size_t i = 0; i < cells; ++i)
+        occupancy.raw(i) = rng.chance(0.25) ? 1 : 0;
+
+    // A small rotation of recurring start/goal routes, as a planner
+    // re-querying the same map does.
+    std::vector<std::pair<std::size_t, std::size_t>> routes;
+    for (std::size_t r = 0; r < p_.route_pairs; ++r)
+        routes.emplace_back(rng.below(cells),
+                            rng.below(p_.width) + (rng.below(p_.height))
+                                * p_.width);
+
+    std::size_t heap_n = 0;
+    auto heap_push = [&](std::uint64_t prio, std::uint64_t cell) {
+        if (heap_n + 1 >= heap.size())
+            return;
+        std::size_t i = ++heap_n;
+        heap.set(pcs.pc(0), i, (prio << 32) | cell);
+        while (i > 1) {
+            auto parent = heap.get(pcs.pc(1), i / 2);
+            auto self = heap.get(pcs.pc(2), i);
+            if (parent <= self)
+                break;
+            heap.set(pcs.pc(3), i / 2, self);
+            heap.set(pcs.pc(4), i, parent);
+            i /= 2;
+        }
+    };
+    auto heap_pop = [&]() -> std::uint64_t {
+        auto top = heap.get(pcs.pc(5), 1);
+        auto last = heap.get(pcs.pc(6), heap_n--);
+        std::size_t i = 1;
+        heap.set(pcs.pc(7), 1, last);
+        while (2 * i <= heap_n) {
+            std::size_t c = 2 * i;
+            if (c + 1 <= heap_n
+                && heap.get(pcs.pc(8), c + 1) < heap.get(pcs.pc(9), c)) {
+                ++c;
+            }
+            auto child = heap.get(pcs.pc(10), c);
+            auto self = heap.get(pcs.pc(11), i);
+            if (self <= child)
+                break;
+            heap.set(pcs.pc(12), i, child);
+            heap.set(pcs.pc(13), c, self);
+            i = c;
+        }
+        return top;
+    };
+
+    while (!budgetDone(trace, start, p_.target_accesses)) {
+        // One best-first search episode over a recurring route.
+        ++epoch;
+        auto [cur, goal] = routes[epoch % routes.size()];
+        std::size_t goal_x = goal % p_.width;
+        std::size_t goal_y = goal / p_.width;
+        auto unpack_g = [&](std::uint64_t v) {
+            return (v >> 40) == epoch ? (v & 0xFFFFFFFFFFull) : ~0ull;
+        };
+        heap_n = 0;
+        heap_push(0, cur);
+        gscore.set(pcs.pc(18), cur, (epoch << 40));
+        std::size_t steps = 0;
+        while (heap_n > 0 && steps++ < 40'000) {
+            std::uint64_t cell = heap_pop() & 0xFFFFFFFFull;
+            std::size_t cx = cell % p_.width;
+            std::size_t cy = cell / p_.width;
+            if (cx == goal_x && cy == goal_y)
+                break;
+            auto g = unpack_g(gscore.get(pcs.pc(14), cell));
+            const std::int64_t dxs[4] = {1, -1, 0, 0};
+            const std::int64_t dys[4] = {0, 0, 1, -1};
+            for (int d = 0; d < 4; ++d) {
+                auto nx = static_cast<std::int64_t>(cx) + dxs[d];
+                auto ny = static_cast<std::int64_t>(cy) + dys[d];
+                if (nx < 0 || ny < 0
+                    || nx >= static_cast<std::int64_t>(p_.width)
+                    || ny >= static_cast<std::int64_t>(p_.height)) {
+                    continue;
+                }
+                auto ncell = static_cast<std::size_t>(ny)
+                    * p_.width + static_cast<std::size_t>(nx);
+                if (occupancy.get(pcs.pc(15), ncell))
+                    continue;
+                auto ng = (g == ~0ull ? 0 : g) + 1;
+                if (ng < unpack_g(gscore.get(pcs.pc(16), ncell))) {
+                    gscore.set(pcs.pc(17), ncell, (epoch << 40) | ng);
+                    std::uint64_t h = static_cast<std::uint64_t>(
+                        std::llabs(nx - static_cast<std::int64_t>(goal_x))
+                        + std::llabs(ny - static_cast<std::int64_t>(goal_y)));
+                    heap_push(ng + h, ncell);
+                }
+            }
+            if ((steps & 1023) == 0
+                && budgetDone(trace, start, p_.target_accesses)) {
+                return;
+            }
+        }
+    }
+}
+
+void
+StencilKernel::run(traces::Trace &trace)
+{
+    RecordingMemory mem(trace);
+    PcBlock pcs(p_.kernel_id);
+    std::size_t start = trace.size();
+
+    TracedArray<std::int64_t> grid_a(mem, p_.grid_elems, 1);
+    TracedArray<std::int64_t> grid_b(mem, p_.grid_elems, 2);
+
+    bool a_to_b = true;
+    while (!budgetDone(trace, start, p_.target_accesses)) {
+        auto &src = a_to_b ? grid_a : grid_b;
+        auto &dst = a_to_b ? grid_b : grid_a;
+        std::size_t w = p_.row_width;
+        // Sample one lane of each 64B block: the neighbouring lanes
+        // share the block so a per-element walk would only inflate
+        // trace length without changing the block-level stream.
+        for (std::size_t i = w; i + w < p_.grid_elems; i += 8) {
+            auto c = src.get(pcs.pc(0), i);
+            auto l = src.get(pcs.pc(1), i - 8);
+            auto r = src.get(pcs.pc(2), i + 8);
+            auto u = src.get(pcs.pc(3), i - w);
+            auto d = src.get(pcs.pc(4), i + w);
+            dst.set(pcs.pc(5), i, (c * 4 + l + r + u + d) / 8);
+            if ((i & 8191) == 0
+                && budgetDone(trace, start, p_.target_accesses)) {
+                return;
+            }
+        }
+        a_to_b = !a_to_b;
+    }
+}
+
+void
+StreamingKernel::run(traces::Trace &trace)
+{
+    RecordingMemory mem(trace);
+    PcBlock pcs(p_.kernel_id);
+    std::size_t start = trace.size();
+
+    TracedArray<std::uint64_t> gates(mem, p_.elems, 1);
+
+    while (!budgetDone(trace, start, p_.target_accesses)) {
+        // One gate application: read-modify-write sweep. The cyclic
+        // reuse distance equals the array size, so LRU re-misses the
+        // whole array while MIN pins a capacity-sized prefix.
+        for (std::size_t i = 0; i < p_.elems; i += 8) {
+            auto v = gates.get(pcs.pc(0), i);
+            gates.set(pcs.pc(1), i, v ^ (v << 1) ^ 0x5ull);
+            if ((i & 8191) == 0
+                && budgetDone(trace, start, p_.target_accesses)) {
+                return;
+            }
+        }
+    }
+}
+
+void
+CompressionKernel::run(traces::Trace &trace)
+{
+    RecordingMemory mem(trace);
+    PcBlock pcs(p_.kernel_id);
+    Rng rng(p_.seed);
+    std::size_t start = trace.size();
+
+    TracedArray<std::uint64_t> input(mem, p_.input_elems);
+    TracedArray<std::uint64_t> hash_tab(mem, p_.hash_entries);
+
+    for (std::size_t i = 0; i < p_.input_elems; ++i)
+        input.raw(i) = rng.below(1u << 16);
+
+    while (!budgetDone(trace, start, p_.target_accesses)) {
+        for (std::size_t i = 0; i + 8 < p_.input_elems; i += 2) {
+            auto tok = input.get(pcs.pc(0), i);
+            auto slot = hashInto(tok ^ (i >> 3), p_.hash_entries);
+            auto prev = hash_tab.get(pcs.pc(1), slot);
+            hash_tab.set(pcs.pc(2), slot, i);
+            if (prev != 0 && rng.chance(0.3)) {
+                // Back-reference: re-read a recent window position,
+                // Zipf-near offsets so the sliding window stays warm.
+                std::size_t off =
+                    1 + zipfDraw(rng, std::min<std::size_t>(i, 30'000),
+                                 p_.zipf_s);
+                if (off <= i)
+                    input.get(pcs.pc(3), i - off);
+            }
+            if ((i & 4095) == 0
+                && budgetDone(trace, start, p_.target_accesses)) {
+                return;
+            }
+        }
+    }
+}
+
+void
+TreeWalkKernel::run(traces::Trace &trace)
+{
+    RecordingMemory mem(trace);
+    PcBlock pcs(p_.kernel_id);
+    Rng rng(p_.seed);
+    std::size_t start = trace.size();
+
+    // Two 64B blocks per node (key block + payload block), each
+    // visited by its own call site: together with the two caller
+    // sites per walk mode this puts six unique PCs into the LLC
+    // stream per mode switch, so a k=5 PCHR flushes stale markers.
+    TracedArray<std::uint64_t> nodes(mem, p_.node_count * 16);
+    std::vector<std::uint32_t> left(p_.node_count, 0);
+    std::vector<std::uint32_t> right(p_.node_count, 0);
+
+    // Random binary topology. Nodes [0, hot_nodes) form the hot
+    // subtree (built first so the subtree is closed under children);
+    // the remainder hangs below it.
+    auto build = [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t i = lo + 1; i < hi; ++i) {
+            std::size_t parent = lo + rng.below(i - lo);
+            if (left[parent] == 0)
+                left[parent] = static_cast<std::uint32_t>(i);
+            else if (right[parent] == 0)
+                right[parent] = static_cast<std::uint32_t>(i);
+            else if (rng.chance(0.5))
+                left[static_cast<std::size_t>(left[parent])] =
+                    static_cast<std::uint32_t>(i);
+            else
+                right[static_cast<std::size_t>(right[parent])] =
+                    static_cast<std::uint32_t>(i);
+        }
+    };
+    build(0, p_.hot_nodes);
+    build(p_.hot_nodes, p_.node_count);
+
+    // Per-mode caller buffers, cycled sequentially and larger than
+    // the L2, so the caller PCs appear in the LLC access stream (the
+    // context feature the history-based predictors need).
+    TracedArray<std::uint64_t> hot_buf(mem, p_.caller_buf_elems);
+    TracedArray<std::uint64_t> cold_buf(mem, p_.caller_buf_elems);
+    std::size_t hot_cursor = 0, cold_cursor = 0;
+
+    // Marker call sites are chosen so their 4-bit predictor-feature
+    // hashes are pairwise distinct and distinct from the visit PCs'.
+    // A real program has dozens of PCs carrying the same context, so
+    // a single hash collision is harmless there; this synthetic
+    // kernel concentrates all context in two PCs per mode, and a
+    // degenerate collision would erase the signal the experiment is
+    // about rather than model anything physical.
+    std::uint64_t marker_pc[4];
+    {
+        bool used[16] = {};
+        used[hashBits(pcs.pc(3), 4)] = true;
+        used[hashBits(pcs.pc(4), 4)] = true;
+        int found = 0;
+        for (std::uint32_t site = 6; site < 64 && found < 4; ++site) {
+            auto slot = hashBits(pcs.pc(site), 4);
+            if (!used[slot]) {
+                used[slot] = true;
+                marker_pc[found++] = pcs.pc(site);
+            }
+        }
+    }
+
+    while (!budgetDone(trace, start, p_.target_accesses)) {
+        bool hot = rng.chance(p_.hot_fraction);
+        // Caller context: each walk mode runs its own setup code over
+        // its own working buffer before descending the tree. Two
+        // distinct call sites per mode ensure a k=5 PCHR flushes the
+        // previous walk's markers (the visit loop below contributes
+        // only three more unique PCs).
+        // The two reads sit half a buffer apart so neither line was
+        // recently touched: both marker PCs must miss the private
+        // levels and appear in the LLC stream every walk.
+        if (hot) {
+            hot_buf.get(marker_pc[0],
+                        (hot_cursor += 8) % p_.caller_buf_elems);
+            hot_buf.get(marker_pc[1],
+                        (hot_cursor + p_.caller_buf_elems / 2)
+                            % p_.caller_buf_elems);
+        } else {
+            cold_buf.get(marker_pc[2],
+                         (cold_cursor += 8) % p_.caller_buf_elems);
+            cold_buf.get(marker_pc[3],
+                         (cold_cursor + p_.caller_buf_elems / 2)
+                             % p_.caller_buf_elems);
+        }
+        // Each query visits a chain of nodes uniformly spread over
+        // the mode's region (hash-consed lookups: the child pointer
+        // is read, but the next node comes from the query stream).
+        // Uniform visits keep the regions' reuse structure clean:
+        // the hot region is sized so that, interleaved with cold
+        // pollution, LRU thrashes on it while OPT retains it.
+        std::size_t region_lo = hot ? 0 : p_.hot_nodes;
+        std::size_t region_n = hot ? p_.hot_nodes
+                                   : p_.node_count - p_.hot_nodes;
+        for (int depth = 0; depth < 15; ++depth) {
+            std::size_t v = region_lo + rng.below(region_n);
+            auto key = nodes.get(pcs.pc(3), v * 16);
+            auto payload = nodes.get(pcs.pc(4), v * 16 + 8);
+            (void)key;
+            (void)payload;
+            (void)left;
+            (void)right;
+        }
+        if (budgetDone(trace, start, p_.target_accesses))
+            return;
+    }
+}
+
+} // namespace workloads
+} // namespace glider

@@ -1,0 +1,236 @@
+/**
+ * @file
+ * Kernel families imitating the access structure of the SPEC CPU2006
+ * and SPEC CPU2017 benchmarks the paper evaluates on. Each family
+ * executes a real (simplified) algorithm; parameters control working
+ * set sizes so that the mix of cache-friendly and cache-averse access
+ * streams at the LLC resembles the named benchmark.
+ *
+ * The recurring structural elements are:
+ *  - cyclic sweeps over a working set larger than the LLC (LRU gets no
+ *    hits; Belady retains a capacity-sized subset — the pattern where
+ *    learning-based policies beat LRU the most);
+ *  - a "hot" region between L2 and LLC size that smart policies must
+ *    protect from streaming pollution;
+ *  - per-PC behavioural bias, plus a fraction of shared call sites
+ *    whose behaviour depends on calling context (control-flow
+ *    history), which is exactly the signal Glider/LSTM exploit and a
+ *    single-PC counter (Hawkeye) cannot.
+ */
+
+#ifndef GLIDER_WORKLOADS_SPEC_KERNELS_HH
+#define GLIDER_WORKLOADS_SPEC_KERNELS_HH
+
+#include <cstdint>
+#include <string>
+
+#include "common/rng.hh"
+#include "kernel.hh"
+#include "recording_memory.hh"
+
+namespace glider {
+namespace workloads {
+
+/** Common knobs shared by all SPEC-like kernels. */
+struct KernelParams
+{
+    std::string name;          //!< workload name (e.g. "mcf")
+    std::uint32_t kernel_id = 0; //!< disjoint PC-namespace id
+    std::uint64_t seed = 1;    //!< RNG seed
+    std::uint64_t target_accesses = 2'000'000;
+};
+
+/**
+ * mcf-like network-simplex kernel: streaming sweeps over a large arc
+ * array, data-dependent accesses to node records, and pointer chasing
+ * along a hot spanning-tree path.
+ */
+class NetworkSimplexKernel : public Kernel
+{
+  public:
+    struct Params : KernelParams
+    {
+        std::size_t nodes = 1'200'000;  //!< 8B potentials (~9.6 MB)
+        std::size_t arcs = 80'000;      //!< 3 x 8B fields (~1.9 MB);
+                                        //!< one pricing pass ~0.5M
+                                        //!< accesses, so a 2M trace
+                                        //!< spans several passes
+        std::size_t hot_tree = 12'000;  //!< nodes in the hot path set
+    };
+
+    explicit NetworkSimplexKernel(Params p) : p_(std::move(p)) {}
+    std::string name() const override { return p_.name; }
+    void run(traces::Trace &trace) override;
+
+  private:
+    Params p_;
+};
+
+/**
+ * soplex/calculix-like sparse-solver kernel: CSR sparse
+ * matrix-vector products with gathers into a mid-sized dense vector.
+ */
+class SparseSolverKernel : public Kernel
+{
+  public:
+    struct Params : KernelParams
+    {
+        std::size_t rows = 40'000;
+        std::size_t nnz_per_row = 8;
+        std::size_t vec_elems = 40'000; //!< 8B each (~0.3 MB hot)
+    };
+
+    explicit SparseSolverKernel(Params p) : p_(std::move(p)) {}
+    std::string name() const override { return p_.name; }
+    void run(traces::Trace &trace) override;
+
+  private:
+    Params p_;
+};
+
+/**
+ * sphinx3-like acoustic-scoring kernel: per-frame feature streams
+ * scored against senone tables drawn from a Zipf distribution, giving
+ * hot (friendly) and cold (averse) table halves behind shared scoring
+ * call sites.
+ */
+class ScoreTableKernel : public Kernel
+{
+  public:
+    struct Params : KernelParams
+    {
+        std::size_t tables = 4096;       //!< senone tables
+        std::size_t table_elems = 512;   //!< 8B elems => 4KB per table
+        std::size_t frame_elems = 512;   //!< feature vector per frame
+        double zipf_s = 0.9;             //!< table popularity skew
+    };
+
+    explicit ScoreTableKernel(Params p) : p_(std::move(p)) {}
+    std::string name() const override { return p_.name; }
+    void run(traces::Trace &trace) override;
+
+  private:
+    Params p_;
+};
+
+/**
+ * astar-like grid-search kernel: weighted-grid best-first search with
+ * a small open-list heap (friendly) over large occupancy/score grids
+ * (averse with spatial locality).
+ */
+class GridSearchKernel : public Kernel
+{
+  public:
+    struct Params : KernelParams
+    {
+        std::size_t width = 1024;
+        std::size_t height = 1024;   //!< ~8 MB of 8B cells
+        std::size_t route_pairs = 8; //!< recurring start/goal pairs
+    };
+
+    explicit GridSearchKernel(Params p) : p_(std::move(p)) {}
+    std::string name() const override { return p_.name; }
+    void run(traces::Trace &trace) override;
+
+  private:
+    Params p_;
+};
+
+/**
+ * lbm/bwaves/zeusmp-like stencil kernel: alternating sweeps over two
+ * large grids. With grid_bytes far above LLC size this is the classic
+ * streaming/thrashing pattern.
+ */
+class StencilKernel : public Kernel
+{
+  public:
+    struct Params : KernelParams
+    {
+        std::size_t grid_elems = 2'000'000; //!< 8B cells (~16 MB/grid)
+        std::size_t row_width = 2000;       //!< for the ±W neighbours
+    };
+
+    explicit StencilKernel(Params p) : p_(std::move(p)) {}
+    std::string name() const override { return p_.name; }
+    void run(traces::Trace &trace) override;
+
+  private:
+    Params p_;
+};
+
+/**
+ * libquantum-like streaming kernel: repeated full sweeps over a single
+ * array a few times LLC size — Belady keeps a capacity-sized prefix
+ * resident while LRU gets zero reuse hits.
+ */
+class StreamingKernel : public Kernel
+{
+  public:
+    struct Params : KernelParams
+    {
+        std::size_t elems = 1'000'000; //!< 8B each (~8 MB)
+    };
+
+    explicit StreamingKernel(Params p) : p_(std::move(p)) {}
+    std::string name() const override { return p_.name; }
+    void run(traces::Trace &trace) override;
+
+  private:
+    Params p_;
+};
+
+/**
+ * bzip2/xz-like compression kernel: sequential input scan, hashed
+ * match-table probes, and Zipf-distributed back-reference copies into
+ * a sliding window.
+ */
+class CompressionKernel : public Kernel
+{
+  public:
+    struct Params : KernelParams
+    {
+        std::size_t input_elems = 1'500'000; //!< 8B tokens (~12 MB)
+        std::size_t hash_entries = 196'608;  //!< 8B each (~1.5 MB)
+        double zipf_s = 1.1;                 //!< back-reference skew
+    };
+
+    explicit CompressionKernel(Params p) : p_(std::move(p)) {}
+    std::string name() const override { return p_.name; }
+    void run(traces::Trace &trace) override;
+
+  private:
+    Params p_;
+};
+
+/**
+ * gcc/xalancbmk-like tree-walk kernel: repeated traversals of a
+ * pointer-linked tree where a hot subtree absorbs most visits behind
+ * the same traversal call sites that also walk the cold remainder —
+ * context (the path taken into the subtree) predicts cacheability.
+ */
+class TreeWalkKernel : public Kernel
+{
+  public:
+    struct Params : KernelParams
+    {
+        std::size_t node_count = 400'000; //!< 128B nodes (~51 MB)
+        std::size_t hot_nodes = 9'000;    //!< hot region (~1.1 MB)
+        double hot_fraction = 0.5;        //!< share of walks that stay hot
+        std::size_t caller_buf_elems = 65'536; //!< 512KB per walk mode
+    };
+
+    explicit TreeWalkKernel(Params p) : p_(std::move(p)) {}
+    std::string name() const override { return p_.name; }
+    void run(traces::Trace &trace) override;
+
+  private:
+    Params p_;
+};
+
+/** Draw a Zipf(s)-distributed index in [0, n) using inverse CDF. */
+std::size_t zipfDraw(Rng &rng, std::size_t n, double s);
+
+} // namespace workloads
+} // namespace glider
+
+#endif // GLIDER_WORKLOADS_SPEC_KERNELS_HH

@@ -1,0 +1,289 @@
+/**
+ * @file
+ * Unit tests for src/common: RNG, hashing, LRU tracker, saturating
+ * counters, and statistics helpers.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <unordered_set>
+
+#include "common/hash.hh"
+#include "common/lru_tracker.hh"
+#include "common/rng.hh"
+#include "common/saturating_counter.hh"
+#include "common/stats_util.hh"
+
+namespace glider {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed)
+{
+    Rng a(123), b(123);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        same += a.next() == b.next();
+    EXPECT_LT(same, 2);
+}
+
+TEST(Rng, BelowStaysInRange)
+{
+    Rng rng(7);
+    for (int i = 0; i < 10000; ++i)
+        EXPECT_LT(rng.below(17), 17u);
+}
+
+TEST(Rng, BelowCoversAllResidues)
+{
+    Rng rng(7);
+    std::set<std::uint64_t> seen;
+    for (int i = 0; i < 2000; ++i)
+        seen.insert(rng.below(8));
+    EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Rng, RangeInclusiveBounds)
+{
+    Rng rng(11);
+    bool hit_lo = false, hit_hi = false;
+    for (int i = 0; i < 5000; ++i) {
+        auto v = rng.range(-3, 3);
+        EXPECT_GE(v, -3);
+        EXPECT_LE(v, 3);
+        hit_lo |= v == -3;
+        hit_hi |= v == 3;
+    }
+    EXPECT_TRUE(hit_lo);
+    EXPECT_TRUE(hit_hi);
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng rng(3);
+    double sum = 0.0;
+    for (int i = 0; i < 20000; ++i) {
+        double u = rng.uniform();
+        ASSERT_GE(u, 0.0);
+        ASSERT_LT(u, 1.0);
+        sum += u;
+    }
+    EXPECT_NEAR(sum / 20000.0, 0.5, 0.02);
+}
+
+TEST(Rng, GaussianMoments)
+{
+    Rng rng(5);
+    double sum = 0.0, sq = 0.0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i) {
+        double g = rng.gaussian();
+        sum += g;
+        sq += g * g;
+    }
+    EXPECT_NEAR(sum / n, 0.0, 0.05);
+    EXPECT_NEAR(sq / n, 1.0, 0.05);
+}
+
+TEST(Hash, Mix64IsInjectiveOnSmallDomain)
+{
+    std::unordered_set<std::uint64_t> out;
+    for (std::uint64_t i = 0; i < 10000; ++i)
+        out.insert(mix64(i));
+    EXPECT_EQ(out.size(), 10000u);
+}
+
+TEST(Hash, HashBitsWithinWidth)
+{
+    for (std::uint64_t i = 0; i < 1000; ++i)
+        EXPECT_LT(hashBits(i, 4), 16u);
+}
+
+TEST(Hash, HashIntoWithinSize)
+{
+    for (std::uint64_t i = 0; i < 1000; ++i)
+        EXPECT_LT(hashInto(i, 2048), 2048u);
+}
+
+TEST(Hash, HashBitsSpreadsOverAllSlots)
+{
+    std::set<std::uint64_t> seen;
+    for (std::uint64_t i = 0; i < 4096; ++i)
+        seen.insert(hashBits(i * 4 + 0x400000, 4));
+    EXPECT_EQ(seen.size(), 16u);
+}
+
+TEST(Hash, CombineOrderSensitive)
+{
+    EXPECT_NE(hashCombine(1, 2), hashCombine(2, 1));
+}
+
+TEST(LruTracker, InsertsUpToCapacity)
+{
+    LruTracker<int> t(3);
+    EXPECT_TRUE(t.touch(1));
+    EXPECT_TRUE(t.touch(2));
+    EXPECT_TRUE(t.touch(3));
+    EXPECT_EQ(t.size(), 3u);
+    EXPECT_TRUE(t.contains(1));
+    EXPECT_TRUE(t.contains(2));
+    EXPECT_TRUE(t.contains(3));
+}
+
+TEST(LruTracker, EvictsLeastRecentlyUsed)
+{
+    LruTracker<int> t(3);
+    t.touch(1);
+    t.touch(2);
+    t.touch(3);
+    t.touch(4); // evicts 1
+    EXPECT_FALSE(t.contains(1));
+    EXPECT_TRUE(t.contains(4));
+}
+
+TEST(LruTracker, TouchRefreshesRecency)
+{
+    LruTracker<int> t(3);
+    t.touch(1);
+    t.touch(2);
+    t.touch(3);
+    EXPECT_FALSE(t.touch(1)); // refresh, not insert
+    t.touch(4);               // evicts 2, not 1
+    EXPECT_TRUE(t.contains(1));
+    EXPECT_FALSE(t.contains(2));
+}
+
+TEST(LruTracker, EntriesInLruToMruOrder)
+{
+    LruTracker<int> t(3);
+    t.touch(1);
+    t.touch(2);
+    t.touch(3);
+    t.touch(2);
+    std::vector<int> expect{1, 3, 2};
+    EXPECT_EQ(t.entries(), expect);
+}
+
+TEST(LruTracker, DuplicatesNeverStored)
+{
+    LruTracker<int> t(5);
+    for (int i = 0; i < 20; ++i)
+        t.touch(i % 2);
+    EXPECT_EQ(t.size(), 2u);
+}
+
+TEST(LruTracker, ClearEmpties)
+{
+    LruTracker<int> t(2);
+    t.touch(1);
+    t.clear();
+    EXPECT_TRUE(t.empty());
+    EXPECT_FALSE(t.contains(1));
+}
+
+TEST(SaturatingCounter, SaturatesHigh)
+{
+    SaturatingCounter c(2, 0);
+    for (int i = 0; i < 10; ++i)
+        c.increment();
+    EXPECT_EQ(c.value(), 3u);
+    EXPECT_TRUE(c.saturatedHigh());
+}
+
+TEST(SaturatingCounter, SaturatesLow)
+{
+    SaturatingCounter c(3, 5);
+    for (int i = 0; i < 10; ++i)
+        c.decrement();
+    EXPECT_EQ(c.value(), 0u);
+    EXPECT_TRUE(c.saturatedLow());
+}
+
+TEST(SaturatingCounter, MsbSplitsRangeInHalf)
+{
+    SaturatingCounter c(3, 0); // max 7
+    EXPECT_FALSE(c.msb());
+    c.set(3);
+    EXPECT_FALSE(c.msb());
+    c.set(4);
+    EXPECT_TRUE(c.msb());
+}
+
+TEST(SaturatingCounter, InitialValueClamped)
+{
+    SaturatingCounter c(2, 100);
+    EXPECT_EQ(c.value(), 3u);
+}
+
+TEST(Summary, MeanMinMax)
+{
+    Summary s;
+    for (double x : {3.0, 1.0, 2.0})
+        s.add(x);
+    EXPECT_EQ(s.count(), 3u);
+    EXPECT_DOUBLE_EQ(s.mean(), 2.0);
+    EXPECT_DOUBLE_EQ(s.min(), 1.0);
+    EXPECT_DOUBLE_EQ(s.max(), 3.0);
+}
+
+TEST(Summary, VarianceMatchesClosedForm)
+{
+    Summary s;
+    for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+        s.add(x);
+    EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-9);
+}
+
+TEST(Summary, EmptyIsZero)
+{
+    Summary s;
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_EQ(s.mean(), 0.0);
+    EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(Histogram, CountsAndClamping)
+{
+    Histogram h(0.0, 1.0, 10);
+    h.add(0.05);
+    h.add(0.95);
+    h.add(-5.0); // clamps to first bin
+    h.add(5.0);  // clamps to last bin
+    EXPECT_EQ(h.total(), 4u);
+    EXPECT_EQ(h.counts().front(), 2u);
+    EXPECT_EQ(h.counts().back(), 2u);
+}
+
+TEST(Histogram, CdfReachesOne)
+{
+    Histogram h(0.0, 1.0, 4);
+    for (double x : {0.1, 0.3, 0.6, 0.9})
+        h.add(x);
+    auto cdf = h.cdf();
+    EXPECT_NEAR(cdf.back(), 1.0, 1e-12);
+    for (std::size_t i = 1; i < cdf.size(); ++i)
+        EXPECT_GE(cdf[i], cdf[i - 1]);
+}
+
+TEST(StatsUtil, GeomeanOfPowers)
+{
+    EXPECT_NEAR(geomean({1.0, 4.0}), 2.0, 1e-12);
+    EXPECT_NEAR(geomean({2.0, 2.0, 2.0}), 2.0, 1e-12);
+    EXPECT_EQ(geomean({}), 0.0);
+}
+
+TEST(StatsUtil, ArithmeticMean)
+{
+    EXPECT_DOUBLE_EQ(amean({1.0, 2.0, 3.0}), 2.0);
+    EXPECT_EQ(amean({}), 0.0);
+}
+
+} // namespace
+} // namespace glider

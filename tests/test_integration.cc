@@ -1,0 +1,224 @@
+/**
+ * @file
+ * Cross-module integration and property tests: full workload ->
+ * hierarchy -> policy pipelines, MIN-dominance invariants, and the
+ * qualitative orderings the paper's evaluation rests on.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cachesim/simulator.hh"
+#include "core/glider_policy.hh"
+#include "core/policy_factory.hh"
+#include "opt/belady.hh"
+#include "opt/llc_stream.hh"
+#include "policies/hawkeye.hh"
+#include "workloads/registry.hh"
+#include "workloads/scheduler_kernel.hh"
+
+namespace glider {
+namespace {
+
+using core::makePolicy;
+
+sim::SimOptions
+fastOpts()
+{
+    sim::SimOptions opts;
+    opts.warmup_fraction = 0.2;
+    return opts;
+}
+
+TEST(Integration, EveryPolicyRunsEveryOfflineWorkload)
+{
+    for (const auto &wl : workloads::offlineSubset()) {
+        const auto &trace = workloads::cachedTrace(wl, 150'000);
+        for (const auto &policy : core::policyNames()) {
+            auto res = sim::runSingleCore(trace, makePolicy(policy),
+                                          fastOpts());
+            EXPECT_GT(res.ipc, 0.0) << wl << "/" << policy;
+            EXPECT_LE(res.llc.misses, res.llc.accesses)
+                << wl << "/" << policy;
+        }
+    }
+}
+
+/**
+ * MIN dominance: no online policy may beat exact Belady on LLC
+ * misses over the same (policy-independent) LLC access stream.
+ */
+class MinDominance : public ::testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(MinDominance, NoPolicyBeatsBelady)
+{
+    const auto &trace = workloads::cachedTrace(GetParam(), 150'000);
+    sim::HierarchyConfig cfg;
+    auto llc_stream = opt::extractLlcStream(trace, cfg);
+    if (llc_stream.empty())
+        GTEST_SKIP();
+    auto min = opt::simulateBelady(llc_stream, cfg.llc.sets(),
+                                   cfg.llc.ways);
+    std::uint64_t min_misses = llc_stream.size() - min.hit_count;
+    sim::SimOptions opts;
+    opts.warmup_fraction = 0.0; // stats over the whole stream
+    for (const auto &policy : {"LRU", "SHiP++", "Hawkeye", "Glider"}) {
+        auto res = sim::runSingleCore(trace, makePolicy(policy), opts);
+        EXPECT_GE(res.llc.misses, min_misses) << policy;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(OfflineSubset, MinDominance,
+                         ::testing::Values("mcf", "omnetpp", "soplex",
+                                           "sphinx3", "astar", "lbm"));
+
+TEST(Integration, LlcStreamIsPolicyIndependent)
+{
+    // The LLC sees the same accesses under any LLC policy, because
+    // L1/L2 are fixed: compare access counts between LRU and Glider.
+    const auto &trace = workloads::cachedTrace("soplex", 120'000);
+    sim::SimOptions opts;
+    opts.warmup_fraction = 0.0;
+    auto a = sim::runSingleCore(trace, makePolicy("LRU"), opts);
+    auto b = sim::runSingleCore(trace, makePolicy("Glider"), opts);
+    EXPECT_EQ(a.llc.accesses, b.llc.accesses);
+}
+
+/**
+ * A scheduler workload scaled so several recycled-pool reuse cycles
+ * fit in a short trace, paired with a proportionally smaller
+ * hierarchy (the Table 1 shapes shrunk 8x). Used where a test needs
+ * LLC-level reuse structure without multi-million-access traces.
+ */
+const traces::Trace &
+smallSchedulerTrace()
+{
+    static traces::Trace trace = [] {
+        workloads::SchedulerKernel::Params p;
+        p.name = "sched-small";
+        p.kernel_id = 200;
+        p.target_accesses = 400'000;
+        p.ifg_pool_msgs = 512;   // 2048 lines: fits the small LLC
+        p.big_pool_msgs = 50'000;
+        p.caller_buf_elems = 16'384; // 128KB: misses the small L2
+        traces::Trace t(p.name);
+        workloads::SchedulerKernel(p).run(t);
+        return t;
+    }();
+    return trace;
+}
+
+sim::SimOptions
+smallHierarchyOpts()
+{
+    sim::SimOptions opts;
+    opts.hierarchy.l2.size_bytes = 64 * 1024;   // 128 sets x 8 ways
+    opts.hierarchy.llc.size_bytes = 256 * 1024; // 256 sets x 16 ways
+    opts.warmup_fraction = 0.2;
+    return opts;
+}
+
+TEST(Integration, GliderReducesMissesVsLruOnContextWorkloads)
+{
+    // The scheduler workload is the paper's motivating case: a
+    // learning policy must cut misses relative to LRU, because the
+    // recycled message pool thrashes LRU but fits an OPT-guided LLC.
+    const auto &trace = smallSchedulerTrace();
+    auto opts = smallHierarchyOpts();
+    auto lru = sim::runSingleCore(trace, makePolicy("LRU"), opts);
+    auto gld = sim::runSingleCore(trace, makePolicy("Glider"), opts);
+    EXPECT_LT(gld.llc.misses, lru.llc.misses * 95 / 100);
+}
+
+TEST(Integration, GliderSpeedupTracksMissReduction)
+{
+    const auto &trace = workloads::cachedTrace("libquantum", 300'000);
+    auto lru = sim::runSingleCore(trace, makePolicy("LRU"), fastOpts());
+    auto gld = sim::runSingleCore(trace, makePolicy("Glider"),
+                                  fastOpts());
+    if (gld.llc.misses < lru.llc.misses)
+        EXPECT_GE(gld.ipc, lru.ipc * 0.999);
+}
+
+TEST(Integration, OnlineAccuracyProbesWork)
+{
+    const auto &trace = smallSchedulerTrace();
+    // Drive a hierarchy directly so the policy stays reachable for
+    // the accuracy probe after the run.
+    sim::HierarchyConfig cfg = smallHierarchyOpts().hierarchy;
+    sim::Hierarchy hier(cfg, 1, core::makePolicy("Glider"));
+    auto &llc_policy =
+        static_cast<core::GliderPolicy &>(hier.llc().policy());
+    for (const auto &rec : trace)
+        hier.access(0, rec.pc, rec.address, rec.is_write);
+    EXPECT_GT(llc_policy.predictorAccuracy().events, 100u);
+    EXPECT_GT(llc_policy.predictorAccuracy().accuracy(), 0.4);
+}
+
+TEST(Integration, MultiCoreMixWithGlider)
+{
+    const auto &t0 = workloads::cachedTrace("mcf", 120'000);
+    const auto &t1 = workloads::cachedTrace("lbm", 120'000);
+    const auto &t2 = workloads::cachedTrace("bfs", 120'000);
+    const auto &t3 = workloads::cachedTrace("sphinx3", 120'000);
+    sim::SimOptions opts;
+    opts.hierarchy = sim::HierarchyConfig::forCores(4);
+    opts.warmup_fraction = 0.1;
+    auto res = sim::runMultiCore({&t0, &t1, &t2, &t3},
+                                 makePolicy("Glider"), 60'000, opts);
+    ASSERT_EQ(res.ipc_shared.size(), 4u);
+    for (auto ipc : res.ipc_shared)
+        EXPECT_GT(ipc, 0.0);
+}
+
+TEST(Integration, SharedLlcContentionLowersIpc)
+{
+    const auto &t = workloads::cachedTrace("mcf", 120'000);
+    sim::SimOptions opts4;
+    opts4.hierarchy = sim::HierarchyConfig::forCores(4);
+    opts4.warmup_fraction = 0.1;
+    // Solo on the 4-core-sized LLC vs sharing it with three copies
+    // of itself: contention must not *increase* IPC.
+    auto solo = sim::runMultiCore({&t}, makePolicy("LRU"), 60'000,
+                                  opts4);
+    auto shared = sim::runMultiCore({&t, &t, &t, &t},
+                                    makePolicy("LRU"), 60'000, opts4);
+    EXPECT_LE(shared.ipc_shared[0], solo.ipc_shared[0] * 1.05);
+}
+
+TEST(Integration, WeightedSpeedupMethodology)
+{
+    // End-to-end §5.1 metric computation on a small mix.
+    std::vector<std::string> mix{"mcf", "lbm"};
+    sim::SimOptions opts;
+    opts.hierarchy = sim::HierarchyConfig::forCores(2);
+    opts.warmup_fraction = 0.1;
+
+    std::vector<const traces::Trace *> traces;
+    for (const auto &name : mix)
+        traces.push_back(&workloads::cachedTrace(name, 100'000));
+
+    double ws_lru = 0.0, ws_glider = 0.0;
+    std::vector<double> single;
+    for (auto *t : traces) {
+        auto r = sim::runMultiCore({t}, makePolicy("LRU"), 50'000,
+                                   opts);
+        single.push_back(r.ipc_shared[0]);
+    }
+    auto lru = sim::runMultiCore(traces, makePolicy("LRU"), 50'000,
+                                 opts);
+    auto gld = sim::runMultiCore(traces, makePolicy("Glider"), 50'000,
+                                 opts);
+    for (std::size_t c = 0; c < traces.size(); ++c) {
+        ws_lru += lru.ipc_shared[c] / single[c];
+        ws_glider += gld.ipc_shared[c] / single[c];
+    }
+    EXPECT_GT(ws_lru, 0.0);
+    EXPECT_GT(ws_glider, 0.0);
+    // No hard ordering asserted here (mix-dependent); the bench
+    // reports the full comparison.
+}
+
+} // namespace
+} // namespace glider

@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Unit tests for src/traces: record semantics, trace container, file
+ * round-trips, and Table 2 statistics.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "traces/access.hh"
+#include "traces/trace.hh"
+#include "traces/trace_stats.hh"
+
+namespace glider {
+namespace traces {
+namespace {
+
+TEST(Access, BlockAddrStripsOffset)
+{
+    EXPECT_EQ(blockAddr(0), 0u);
+    EXPECT_EQ(blockAddr(63), 0u);
+    EXPECT_EQ(blockAddr(64), 1u);
+    EXPECT_EQ(blockAddr(0x1000), 0x1000u >> 6);
+}
+
+TEST(Access, SameBlockForNeighbours)
+{
+    EXPECT_EQ(blockAddr(0x1234), blockAddr(0x1234 + 1));
+}
+
+TEST(Trace, PushAndIndex)
+{
+    Trace t("x");
+    t.push(0x400000, 0x1000);
+    t.push(0x400004, 0x2000, true, 2);
+    ASSERT_EQ(t.size(), 2u);
+    EXPECT_EQ(t[0].pc, 0x400000u);
+    EXPECT_FALSE(t[0].is_write);
+    EXPECT_TRUE(t[1].is_write);
+    EXPECT_EQ(t[1].core, 2);
+}
+
+TEST(Trace, TruncateShrinksOnly)
+{
+    Trace t("x");
+    for (int i = 0; i < 10; ++i)
+        t.push(1, i * 64);
+    t.truncate(4);
+    EXPECT_EQ(t.size(), 4u);
+    t.truncate(100);
+    EXPECT_EQ(t.size(), 4u);
+}
+
+TEST(Trace, SliceClampsToBounds)
+{
+    Trace t("x");
+    for (int i = 0; i < 10; ++i)
+        t.push(1, i * 64);
+    Trace s = t.slice(8, 5);
+    EXPECT_EQ(s.size(), 2u);
+    EXPECT_EQ(s[0].address, 8u * 64);
+    Trace empty = t.slice(20, 5);
+    EXPECT_TRUE(empty.empty());
+}
+
+TEST(Trace, SaveLoadRoundTrip)
+{
+    Trace t("roundtrip");
+    for (int i = 0; i < 100; ++i)
+        t.push(0x400000 + i * 4, 0x10000 + i * 64, i % 3 == 0,
+               static_cast<std::uint8_t>(i % 4));
+    std::string path = "/tmp/glider_trace_test.bin";
+    ASSERT_TRUE(t.save(path));
+    Trace loaded;
+    ASSERT_TRUE(Trace::load(path, loaded));
+    ASSERT_EQ(loaded.size(), t.size());
+    for (std::size_t i = 0; i < t.size(); ++i)
+        EXPECT_EQ(loaded[i], t[i]);
+    std::remove(path.c_str());
+}
+
+TEST(Trace, LoadRejectsGarbage)
+{
+    std::string path = "/tmp/glider_trace_garbage.bin";
+    std::FILE *f = std::fopen(path.c_str(), "wb");
+    std::fputs("not a trace file at all", f);
+    std::fclose(f);
+    Trace t;
+    EXPECT_FALSE(Trace::load(path, t));
+    std::remove(path.c_str());
+}
+
+TEST(Trace, LoadMissingFileFails)
+{
+    Trace t;
+    EXPECT_FALSE(Trace::load("/tmp/glider_no_such_file.bin", t));
+}
+
+TEST(TraceStats, CountsUniquePcsAndBlocks)
+{
+    Trace t("stats");
+    // 2 PCs, 3 unique blocks, 6 accesses.
+    t.push(1, 0 * 64);
+    t.push(1, 1 * 64);
+    t.push(2, 2 * 64);
+    t.push(2, 2 * 64 + 8); // same block as previous
+    t.push(1, 0 * 64);
+    t.push(2, 1 * 64);
+    TraceStats s = computeStats(t);
+    EXPECT_EQ(s.accesses, 6u);
+    EXPECT_EQ(s.unique_pcs, 2u);
+    EXPECT_EQ(s.unique_addrs, 3u);
+    EXPECT_DOUBLE_EQ(s.accesses_per_pc, 3.0);
+    EXPECT_DOUBLE_EQ(s.accesses_per_addr, 2.0);
+}
+
+TEST(TraceStats, EmptyTraceIsAllZero)
+{
+    TraceStats s = computeStats(Trace("empty"));
+    EXPECT_EQ(s.accesses, 0u);
+    EXPECT_EQ(s.unique_pcs, 0u);
+    EXPECT_EQ(s.accesses_per_pc, 0.0);
+}
+
+TEST(TraceStats, FormatRowContainsName)
+{
+    Trace t("mcf");
+    t.push(1, 64);
+    auto row = formatStatsRow(computeStats(t));
+    EXPECT_NE(row.find("mcf"), std::string::npos);
+}
+
+} // namespace
+} // namespace traces
+} // namespace glider

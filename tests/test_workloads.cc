@@ -1,0 +1,294 @@
+/**
+ * @file
+ * Tests for src/workloads: registry integrity, kernel determinism,
+ * access budgets, PC-namespace disjointness, graph construction, and
+ * the structural properties the experiments rely on (context-
+ * dependent locality in the scheduler kernel).
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <unordered_set>
+
+#include "workloads/graph_kernels.hh"
+#include "workloads/recording_memory.hh"
+#include "workloads/registry.hh"
+#include "workloads/scheduler_kernel.hh"
+#include "workloads/spec_kernels.hh"
+
+namespace glider {
+namespace workloads {
+namespace {
+
+TEST(Registry, WorkloadCounts)
+{
+    EXPECT_EQ(allWorkloads().size(), 35u);
+    EXPECT_EQ(figure11Workloads().size(), 33u);
+    EXPECT_EQ(figure10Workloads().size(), 23u);
+    EXPECT_EQ(offlineSubset().size(), 6u);
+}
+
+TEST(Registry, Figure10NamesAreRegistered)
+{
+    auto all = allWorkloads();
+    std::set<std::string> known(all.begin(), all.end());
+    for (const auto &n : figure10Workloads())
+        EXPECT_TRUE(known.count(n)) << n;
+}
+
+TEST(Registry, OfflineSubsetMatchesTable2)
+{
+    auto s = offlineSubset();
+    std::vector<std::string> expect{"mcf",     "omnetpp", "soplex",
+                                    "sphinx3", "astar",   "lbm"};
+    EXPECT_EQ(s, expect);
+}
+
+TEST(Registry, SuitesAssigned)
+{
+    EXPECT_EQ(suiteOf("mcf"), Suite::Spec2006);
+    EXPECT_EQ(suiteOf("605.mcf"), Suite::Spec2017);
+    EXPECT_EQ(suiteOf("bfs"), Suite::Gap);
+}
+
+TEST(Registry, EveryWorkloadGenerates)
+{
+    for (const auto &name : allWorkloads()) {
+        traces::Trace t(name);
+        makeWorkload(name, 20'000)->run(t);
+        EXPECT_GE(t.size(), 20'000u) << name;
+        EXPECT_LT(t.size(), 200'000u) << name << " overshoots budget";
+    }
+}
+
+TEST(Registry, KernelsAreDeterministic)
+{
+    for (const auto &name : {"mcf", "omnetpp", "bfs"}) {
+        traces::Trace a(name), b(name);
+        makeWorkload(name, 30'000)->run(a);
+        makeWorkload(name, 30'000)->run(b);
+        ASSERT_EQ(a.size(), b.size()) << name;
+        for (std::size_t i = 0; i < a.size(); i += 97)
+            EXPECT_EQ(a[i], b[i]) << name << " @" << i;
+    }
+}
+
+TEST(Registry, PcNamespacesDisjointAcrossWorkloads)
+{
+    traces::Trace a("mcf"), b("soplex");
+    makeWorkload("mcf", 20'000)->run(a);
+    makeWorkload("soplex", 20'000)->run(b);
+    std::unordered_set<std::uint64_t> pcs_a;
+    for (const auto &r : a)
+        pcs_a.insert(r.pc);
+    for (const auto &r : b)
+        EXPECT_FALSE(pcs_a.count(r.pc));
+}
+
+TEST(Registry, CachedTraceIsMemoised)
+{
+    const auto &a = cachedTrace("astar", 15'000);
+    const auto &b = cachedTrace("astar", 15'000);
+    EXPECT_EQ(&a, &b);
+}
+
+TEST(RecordingMemory, AllocationsDoNotOverlap)
+{
+    traces::Trace t("alloc");
+    RecordingMemory mem(t);
+    auto a = mem.allocate(1000);
+    auto b = mem.allocate(1000);
+    EXPECT_GE(b, a + 1000);
+    // Page alignment: different regions never share a cache block.
+    EXPECT_NE(traces::blockAddr(a + 999), traces::blockAddr(b));
+}
+
+TEST(RecordingMemory, TracedArrayRecordsAddresses)
+{
+    traces::Trace t("arr");
+    RecordingMemory mem(t);
+    TracedArray<std::uint64_t> arr(mem, 16, 5);
+    arr.set(0x42, 3, 99);
+    EXPECT_EQ(arr.get(0x43, 3), 99u);
+    ASSERT_EQ(t.size(), 2u);
+    EXPECT_EQ(t[0].pc, 0x42u);
+    EXPECT_TRUE(t[0].is_write);
+    EXPECT_EQ(t[1].pc, 0x43u);
+    EXPECT_FALSE(t[1].is_write);
+    EXPECT_EQ(t[0].address, arr.base() + 3 * 8);
+}
+
+TEST(PcBlock, DisjointPerKernelId)
+{
+    PcBlock a(1), b(2);
+    EXPECT_NE(a.pc(0), b.pc(0));
+    EXPECT_LT(a.pc(1000), b.pc(0));
+}
+
+TEST(Zipf, SkewsTowardSmallIndices)
+{
+    Rng rng(9);
+    std::size_t head = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i)
+        head += zipfDraw(rng, 1000, 0.9) < 100;
+    // A uniform draw would put ~10% in the first decile.
+    EXPECT_GT(static_cast<double>(head) / n, 0.5);
+}
+
+TEST(Zipf, StaysInRange)
+{
+    Rng rng(10);
+    for (int i = 0; i < 10000; ++i)
+        EXPECT_LT(zipfDraw(rng, 37, 1.1), 37u);
+}
+
+TEST(Graph, CsrIsWellFormed)
+{
+    auto g = buildPowerLawGraph(1000, 8, 3);
+    EXPECT_EQ(g.numVertices(), 1000u);
+    EXPECT_EQ(g.numEdges(), 8000u);
+    EXPECT_EQ(g.offsets.front(), 0u);
+    EXPECT_EQ(g.offsets.back(), g.targets.size());
+    for (std::size_t v = 0; v < g.numVertices(); ++v) {
+        EXPECT_LE(g.offsets[v], g.offsets[v + 1]);
+        EXPECT_TRUE(std::is_sorted(g.targets.begin() + g.offsets[v],
+                                   g.targets.begin() + g.offsets[v + 1]));
+    }
+    for (auto tgt : g.targets)
+        EXPECT_LT(tgt, 1000u);
+}
+
+TEST(Graph, DegreeDistributionIsSkewed)
+{
+    auto g = buildPowerLawGraph(2000, 10, 7);
+    std::size_t max_degree = 0;
+    for (std::size_t v = 0; v < g.numVertices(); ++v) {
+        max_degree = std::max<std::size_t>(
+            max_degree, g.offsets[v + 1] - g.offsets[v]);
+    }
+    // Hubs must exist: max degree far above the average of 10.
+    EXPECT_GT(max_degree, 100u);
+}
+
+TEST(Graph, AllAlgorithmsRun)
+{
+    for (auto algo : {GraphAlgo::Bfs, GraphAlgo::PageRank,
+                      GraphAlgo::Components, GraphAlgo::Betweenness,
+                      GraphAlgo::Sssp, GraphAlgo::TriangleCount}) {
+        GraphKernel::Params p;
+        p.name = "g";
+        p.kernel_id = 99;
+        p.vertices = 5000;
+        p.avg_degree = 8;
+        p.target_accesses = 25'000;
+        p.algo = algo;
+        traces::Trace t("g");
+        GraphKernel(p).run(t);
+        EXPECT_GE(t.size(), 25'000u);
+    }
+}
+
+TEST(Scheduler, AnchorPrecedesTargetsInTrace)
+{
+    SchedulerKernel::Params p;
+    p.kernel_id = 77;
+    p.target_accesses = 50'000;
+    SchedulerKernel k(p);
+    traces::Trace t("omnetpp");
+    k.run(t);
+
+    // Every scheduleAt target access follows one of the six caller
+    // marker PCs.
+    std::uint64_t target0 = k.targetPc(0);
+    const auto &callers = k.callerPcs();
+    std::size_t checked = 0;
+    for (std::size_t i = 1; i < t.size(); ++i) {
+        if (t[i].pc != target0)
+            continue;
+        ++checked;
+        std::uint64_t prev = t[i - 1].pc;
+        bool is_caller = false;
+        for (auto c : callers)
+            is_caller |= prev == c;
+        EXPECT_TRUE(is_caller) << std::hex << prev;
+    }
+    EXPECT_GT(checked, 100u);
+}
+
+TEST(Scheduler, IfgPoolIsReusedBigPoolsAreNot)
+{
+    SchedulerKernel::Params p;
+    p.kernel_id = 78;
+    p.target_accesses = 200'000;
+    p.ifg_pool_msgs = 512;
+    p.big_pool_msgs = 100'000;
+    SchedulerKernel k(p);
+    traces::Trace t("omnetpp");
+    k.run(t);
+
+    // Count reuses of blocks touched by the target PC, separated by
+    // which caller preceded them (the IFG pair is callerPcs()[0..1]).
+    std::uint64_t target0 = k.targetPc(0);
+    const auto &callers = k.callerPcs();
+    std::unordered_set<std::uint64_t> ifg_blocks, other_blocks;
+    std::size_t ifg_repeat = 0, other_repeat = 0;
+    std::size_t ifg_total = 0, other_total = 0;
+    for (std::size_t i = 1; i < t.size(); ++i) {
+        if (t[i].pc != target0)
+            continue;
+        auto block = traces::blockAddr(t[i].address);
+        if (t[i - 1].pc == callers[0] || t[i - 1].pc == callers[1]) {
+            ++ifg_total;
+            ifg_repeat += !ifg_blocks.insert(block).second;
+        } else {
+            ++other_total;
+            other_repeat += !other_blocks.insert(block).second;
+        }
+    }
+    ASSERT_GT(ifg_total, 0u);
+    ASSERT_GT(other_total, 0u);
+    double ifg_rate = static_cast<double>(ifg_repeat) / ifg_total;
+    double other_rate = static_cast<double>(other_repeat) / other_total;
+    EXPECT_GT(ifg_rate, 0.8);   // small pool: heavy reuse
+    EXPECT_LT(other_rate, 0.2); // big pools: barely any
+}
+
+TEST(SpecKernels, BudgetsRespectedAcrossFamilies)
+{
+    struct Case
+    {
+        const char *name;
+        std::uint64_t budget;
+    };
+    for (auto c : {Case{"libquantum", 12'000}, Case{"bzip2", 12'000},
+                   Case{"gcc", 12'000}, Case{"sphinx3", 12'000},
+                   Case{"lbm", 12'000}, Case{"astar", 12'000}}) {
+        traces::Trace t(c.name);
+        makeWorkload(c.name, c.budget)->run(t);
+        EXPECT_GE(t.size(), c.budget) << c.name;
+    }
+}
+
+TEST(SpecKernels, StreamingHasLowBlockReuseWithinSweep)
+{
+    StreamingKernel::Params p;
+    p.name = "stream";
+    p.kernel_id = 80;
+    p.elems = 100'000; // one sweep ~ 12.5k accesses
+    p.target_accesses = 12'000;
+    traces::Trace t("stream");
+    StreamingKernel(p).run(t);
+    std::unordered_set<std::uint64_t> blocks;
+    for (const auto &r : t)
+        blocks.insert(traces::blockAddr(r.address));
+    // A single partial sweep touches each block at most twice
+    // (load + store share the block), so unique blocks ~ accesses/2.
+    EXPECT_GT(blocks.size(), t.size() / 4);
+}
+
+} // namespace
+} // namespace workloads
+} // namespace glider
