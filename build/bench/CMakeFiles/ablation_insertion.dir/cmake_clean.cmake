@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_insertion.dir/ablation_insertion.cc.o"
+  "CMakeFiles/ablation_insertion.dir/ablation_insertion.cc.o.d"
+  "ablation_insertion"
+  "ablation_insertion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_insertion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_pchr_k.dir/ablation_pchr_k.cc.o"
+  "CMakeFiles/ablation_pchr_k.dir/ablation_pchr_k.cc.o.d"
+  "ablation_pchr_k"
+  "ablation_pchr_k.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_pchr_k.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_online_accuracy.dir/fig10_online_accuracy.cc.o"
+  "CMakeFiles/fig10_online_accuracy.dir/fig10_online_accuracy.cc.o.d"
+  "fig10_online_accuracy"
+  "fig10_online_accuracy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_online_accuracy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

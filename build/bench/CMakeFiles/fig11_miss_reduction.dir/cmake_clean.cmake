@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_miss_reduction.dir/fig11_miss_reduction.cc.o"
+  "CMakeFiles/fig11_miss_reduction.dir/fig11_miss_reduction.cc.o.d"
+  "fig11_miss_reduction"
+  "fig11_miss_reduction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_miss_reduction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

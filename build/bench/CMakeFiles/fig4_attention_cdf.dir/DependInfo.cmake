@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig4_attention_cdf.cc" "bench/CMakeFiles/fig4_attention_cdf.dir/fig4_attention_cdf.cc.o" "gcc" "bench/CMakeFiles/fig4_attention_cdf.dir/fig4_attention_cdf.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/glider_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/offline/CMakeFiles/glider_offline.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/glider_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/policies/CMakeFiles/glider_policies.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/glider_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/opt/CMakeFiles/glider_opt.dir/DependInfo.cmake"
+  "/root/repo/build/src/cachesim/CMakeFiles/glider_cachesim.dir/DependInfo.cmake"
+  "/root/repo/build/src/traces/CMakeFiles/glider_traces.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/glider_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

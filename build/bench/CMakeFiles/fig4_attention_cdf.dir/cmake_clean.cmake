@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_attention_cdf.dir/fig4_attention_cdf.cc.o"
+  "CMakeFiles/fig4_attention_cdf.dir/fig4_attention_cdf.cc.o.d"
+  "fig4_attention_cdf"
+  "fig4_attention_cdf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_attention_cdf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

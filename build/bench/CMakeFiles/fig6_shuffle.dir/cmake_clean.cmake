@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_shuffle.dir/fig6_shuffle.cc.o"
+  "CMakeFiles/fig6_shuffle.dir/fig6_shuffle.cc.o.d"
+  "fig6_shuffle"
+  "fig6_shuffle.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_shuffle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/microbench_predictor.dir/microbench_predictor.cc.o"
+  "CMakeFiles/microbench_predictor.dir/microbench_predictor.cc.o.d"
+  "microbench_predictor"
+  "microbench_predictor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/microbench_predictor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_model_cost.dir/table3_model_cost.cc.o"
+  "CMakeFiles/table3_model_cost.dir/table3_model_cost.cc.o.d"
+  "table3_model_cost"
+  "table3_model_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_model_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_anchor_pcs.dir/table4_anchor_pcs.cc.o"
+  "CMakeFiles/table4_anchor_pcs.dir/table4_anchor_pcs.cc.o.d"
+  "table4_anchor_pcs"
+  "table4_anchor_pcs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_anchor_pcs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/glider_cachesim.dir/cache.cc.o"
+  "CMakeFiles/glider_cachesim.dir/cache.cc.o.d"
+  "CMakeFiles/glider_cachesim.dir/hierarchy.cc.o"
+  "CMakeFiles/glider_cachesim.dir/hierarchy.cc.o.d"
+  "CMakeFiles/glider_cachesim.dir/simulator.cc.o"
+  "CMakeFiles/glider_cachesim.dir/simulator.cc.o.d"
+  "libglider_cachesim.a"
+  "libglider_cachesim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/glider_cachesim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/glider_core.dir/policy_factory.cc.o"
+  "CMakeFiles/glider_core.dir/policy_factory.cc.o.d"
+  "libglider_core.a"
+  "libglider_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/glider_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

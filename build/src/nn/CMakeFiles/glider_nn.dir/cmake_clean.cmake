@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/glider_nn.dir/layers.cc.o"
+  "CMakeFiles/glider_nn.dir/layers.cc.o.d"
+  "CMakeFiles/glider_nn.dir/tensor.cc.o"
+  "CMakeFiles/glider_nn.dir/tensor.cc.o.d"
+  "libglider_nn.a"
+  "libglider_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/glider_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/glider_offline.dir/dataset.cc.o"
+  "CMakeFiles/glider_offline.dir/dataset.cc.o.d"
+  "CMakeFiles/glider_offline.dir/lstm_model.cc.o"
+  "CMakeFiles/glider_offline.dir/lstm_model.cc.o.d"
+  "CMakeFiles/glider_offline.dir/simple_models.cc.o"
+  "CMakeFiles/glider_offline.dir/simple_models.cc.o.d"
+  "libglider_offline.a"
+  "libglider_offline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/glider_offline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/opt/belady.cc" "src/opt/CMakeFiles/glider_opt.dir/belady.cc.o" "gcc" "src/opt/CMakeFiles/glider_opt.dir/belady.cc.o.d"
+  "/root/repo/src/opt/llc_stream.cc" "src/opt/CMakeFiles/glider_opt.dir/llc_stream.cc.o" "gcc" "src/opt/CMakeFiles/glider_opt.dir/llc_stream.cc.o.d"
+  "/root/repo/src/opt/optgen.cc" "src/opt/CMakeFiles/glider_opt.dir/optgen.cc.o" "gcc" "src/opt/CMakeFiles/glider_opt.dir/optgen.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cachesim/CMakeFiles/glider_cachesim.dir/DependInfo.cmake"
+  "/root/repo/build/src/traces/CMakeFiles/glider_traces.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/glider_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/glider_opt.dir/belady.cc.o"
+  "CMakeFiles/glider_opt.dir/belady.cc.o.d"
+  "CMakeFiles/glider_opt.dir/llc_stream.cc.o"
+  "CMakeFiles/glider_opt.dir/llc_stream.cc.o.d"
+  "CMakeFiles/glider_opt.dir/optgen.cc.o"
+  "CMakeFiles/glider_opt.dir/optgen.cc.o.d"
+  "libglider_opt.a"
+  "libglider_opt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/glider_opt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

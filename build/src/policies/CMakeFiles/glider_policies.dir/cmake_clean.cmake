@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/glider_policies.dir/opt_guided.cc.o"
+  "CMakeFiles/glider_policies.dir/opt_guided.cc.o.d"
+  "libglider_policies.a"
+  "libglider_policies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/glider_policies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

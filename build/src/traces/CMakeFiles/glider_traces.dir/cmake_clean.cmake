@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/glider_traces.dir/trace.cc.o"
+  "CMakeFiles/glider_traces.dir/trace.cc.o.d"
+  "CMakeFiles/glider_traces.dir/trace_stats.cc.o"
+  "CMakeFiles/glider_traces.dir/trace_stats.cc.o.d"
+  "libglider_traces.a"
+  "libglider_traces.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/glider_traces.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/graph_kernels.cc" "src/workloads/CMakeFiles/glider_workloads.dir/graph_kernels.cc.o" "gcc" "src/workloads/CMakeFiles/glider_workloads.dir/graph_kernels.cc.o.d"
+  "/root/repo/src/workloads/registry.cc" "src/workloads/CMakeFiles/glider_workloads.dir/registry.cc.o" "gcc" "src/workloads/CMakeFiles/glider_workloads.dir/registry.cc.o.d"
+  "/root/repo/src/workloads/scheduler_kernel.cc" "src/workloads/CMakeFiles/glider_workloads.dir/scheduler_kernel.cc.o" "gcc" "src/workloads/CMakeFiles/glider_workloads.dir/scheduler_kernel.cc.o.d"
+  "/root/repo/src/workloads/spec_kernels.cc" "src/workloads/CMakeFiles/glider_workloads.dir/spec_kernels.cc.o" "gcc" "src/workloads/CMakeFiles/glider_workloads.dir/spec_kernels.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/traces/CMakeFiles/glider_traces.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/glider_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/glider_workloads.dir/graph_kernels.cc.o"
+  "CMakeFiles/glider_workloads.dir/graph_kernels.cc.o.d"
+  "CMakeFiles/glider_workloads.dir/registry.cc.o"
+  "CMakeFiles/glider_workloads.dir/registry.cc.o.d"
+  "CMakeFiles/glider_workloads.dir/scheduler_kernel.cc.o"
+  "CMakeFiles/glider_workloads.dir/scheduler_kernel.cc.o.d"
+  "CMakeFiles/glider_workloads.dir/spec_kernels.cc.o"
+  "CMakeFiles/glider_workloads.dir/spec_kernels.cc.o.d"
+  "libglider_workloads.a"
+  "libglider_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/glider_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

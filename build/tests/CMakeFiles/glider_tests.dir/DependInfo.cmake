@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_cachesim.cc" "tests/CMakeFiles/glider_tests.dir/test_cachesim.cc.o" "gcc" "tests/CMakeFiles/glider_tests.dir/test_cachesim.cc.o.d"
+  "/root/repo/tests/test_common.cc" "tests/CMakeFiles/glider_tests.dir/test_common.cc.o" "gcc" "tests/CMakeFiles/glider_tests.dir/test_common.cc.o.d"
+  "/root/repo/tests/test_core.cc" "tests/CMakeFiles/glider_tests.dir/test_core.cc.o" "gcc" "tests/CMakeFiles/glider_tests.dir/test_core.cc.o.d"
+  "/root/repo/tests/test_integration.cc" "tests/CMakeFiles/glider_tests.dir/test_integration.cc.o" "gcc" "tests/CMakeFiles/glider_tests.dir/test_integration.cc.o.d"
+  "/root/repo/tests/test_nn.cc" "tests/CMakeFiles/glider_tests.dir/test_nn.cc.o" "gcc" "tests/CMakeFiles/glider_tests.dir/test_nn.cc.o.d"
+  "/root/repo/tests/test_offline.cc" "tests/CMakeFiles/glider_tests.dir/test_offline.cc.o" "gcc" "tests/CMakeFiles/glider_tests.dir/test_offline.cc.o.d"
+  "/root/repo/tests/test_opt.cc" "tests/CMakeFiles/glider_tests.dir/test_opt.cc.o" "gcc" "tests/CMakeFiles/glider_tests.dir/test_opt.cc.o.d"
+  "/root/repo/tests/test_policies.cc" "tests/CMakeFiles/glider_tests.dir/test_policies.cc.o" "gcc" "tests/CMakeFiles/glider_tests.dir/test_policies.cc.o.d"
+  "/root/repo/tests/test_traces.cc" "tests/CMakeFiles/glider_tests.dir/test_traces.cc.o" "gcc" "tests/CMakeFiles/glider_tests.dir/test_traces.cc.o.d"
+  "/root/repo/tests/test_workloads.cc" "tests/CMakeFiles/glider_tests.dir/test_workloads.cc.o" "gcc" "tests/CMakeFiles/glider_tests.dir/test_workloads.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/glider_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/offline/CMakeFiles/glider_offline.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/glider_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/policies/CMakeFiles/glider_policies.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/glider_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/opt/CMakeFiles/glider_opt.dir/DependInfo.cmake"
+  "/root/repo/build/src/cachesim/CMakeFiles/glider_cachesim.dir/DependInfo.cmake"
+  "/root/repo/build/src/traces/CMakeFiles/glider_traces.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/glider_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,30 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/glider_tests.dir/test_cachesim.cc.o"
+  "CMakeFiles/glider_tests.dir/test_cachesim.cc.o.d"
+  "CMakeFiles/glider_tests.dir/test_common.cc.o"
+  "CMakeFiles/glider_tests.dir/test_common.cc.o.d"
+  "CMakeFiles/glider_tests.dir/test_core.cc.o"
+  "CMakeFiles/glider_tests.dir/test_core.cc.o.d"
+  "CMakeFiles/glider_tests.dir/test_integration.cc.o"
+  "CMakeFiles/glider_tests.dir/test_integration.cc.o.d"
+  "CMakeFiles/glider_tests.dir/test_nn.cc.o"
+  "CMakeFiles/glider_tests.dir/test_nn.cc.o.d"
+  "CMakeFiles/glider_tests.dir/test_offline.cc.o"
+  "CMakeFiles/glider_tests.dir/test_offline.cc.o.d"
+  "CMakeFiles/glider_tests.dir/test_opt.cc.o"
+  "CMakeFiles/glider_tests.dir/test_opt.cc.o.d"
+  "CMakeFiles/glider_tests.dir/test_policies.cc.o"
+  "CMakeFiles/glider_tests.dir/test_policies.cc.o.d"
+  "CMakeFiles/glider_tests.dir/test_traces.cc.o"
+  "CMakeFiles/glider_tests.dir/test_traces.cc.o.d"
+  "CMakeFiles/glider_tests.dir/test_workloads.cc.o"
+  "CMakeFiles/glider_tests.dir/test_workloads.cc.o.d"
+  "glider_tests"
+  "glider_tests.pdb"
+  "glider_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/glider_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
