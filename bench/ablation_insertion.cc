@@ -26,7 +26,7 @@ main()
     std::printf("%-12s %10s %10s %10s  (LLC miss rate)\n", "Program",
                 "thresh=60", "binary(0)", "all-low");
     for (const auto &name : subset) {
-        auto trace = bench::buildTrace(name);
+        const auto &trace = bench::buildTrace(name);
         std::printf("%-12s", name.c_str());
         for (int thresh : {60, 0, 1 << 20}) {
             core::GliderConfig cfg;

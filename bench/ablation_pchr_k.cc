@@ -28,7 +28,7 @@ main()
     std::printf("\n");
 
     for (const auto &name : subset) {
-        auto trace = bench::buildTrace(name);
+        const auto &trace = bench::buildTrace(name);
         std::printf("%-10s", name.c_str());
         for (std::size_t k = 1; k <= 8; ++k) {
             core::GliderConfig cfg;

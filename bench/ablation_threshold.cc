@@ -28,7 +28,7 @@ main()
     std::printf("  (LLC miss rate)\n");
 
     for (const auto &name : subset) {
-        auto trace = bench::buildTrace(name);
+        const auto &trace = bench::buildTrace(name);
         std::printf("%-10s", name.c_str());
 
         core::GliderConfig adaptive;

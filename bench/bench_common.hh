@@ -16,11 +16,15 @@
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
+#include <functional>
+#include <future>
 #include <map>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "cachesim/simulator.hh"
+#include "common/thread_pool.hh"
 #include "core/policy_factory.hh"
 #include "offline/dataset.hh"
 #include "offline/lstm_model.hh"
@@ -43,6 +47,19 @@ inline std::uint64_t
 traceAccesses()
 {
     return envU64("GLIDER_ACCESSES", 2'000'000);
+}
+
+/**
+ * Worker count for parallel sweeps. GLIDER_THREADS; defaults to
+ * std::thread::hardware_concurrency().
+ */
+inline unsigned
+sweepThreads()
+{
+    std::uint64_t v = envU64("GLIDER_THREADS", 0);
+    if (v > 0)
+        return static_cast<unsigned>(v);
+    return ThreadPool::defaultThreads();
 }
 
 /** Offline-model hidden/embedding size. GLIDER_LSTM_DIM. */
@@ -84,13 +101,15 @@ printBanner(const char *experiment, const char *paper_result)
                 "=====================\n");
 }
 
-/** Build (uncached) the trace for one workload at the bench length. */
-inline traces::Trace
+/**
+ * The trace for one workload at the bench length, generated once per
+ * process (traces::TraceCache behind workloads::cachedTrace) and
+ * shared read-only by every policy and harness thread.
+ */
+inline const traces::Trace &
 buildTrace(const std::string &name)
 {
-    traces::Trace t(name);
-    workloads::makeWorkload(name, traceAccesses())->run(t);
-    return t;
+    return workloads::cachedTrace(name, traceAccesses());
 }
 
 /** Run one workload trace under one policy (single core). */
@@ -142,6 +161,95 @@ capDataset(offline::OfflineDataset &ds, std::size_t max_accesses)
         ds.accesses.resize(max_accesses);
         ds.train_end = 3 * max_accesses / 4;
     }
+}
+
+/**
+ * Parallel experiment runner: fans independent (workload x policy)
+ * single-core simulations across sweepThreads() workers and collects
+ * the results into a deterministic, insertion-ordered table.
+ *
+ * Every cell is an isolated simulation — its own policy instance
+ * (fixed constructor seeds), hierarchy, and core model — over a
+ * shared read-only cached trace, so the result table is identical
+ * whatever the worker count, and output printed from it is
+ * byte-identical to the serial harness's.
+ */
+class SweepRunner
+{
+  public:
+    /** A queued simulation returning its result row. */
+    using Cell = std::function<sim::SingleCoreResult()>;
+
+    explicit SweepRunner(unsigned threads = sweepThreads())
+        : pool_(threads)
+    {
+    }
+
+    /** Queue @p policy on @p workload's cached bench-length trace. */
+    void
+    add(const std::string &workload, const std::string &policy)
+    {
+        addCell([workload, policy] {
+            return runPolicy(buildTrace(workload), policy);
+        });
+    }
+
+    /** Queue an arbitrary cell (MIN oracle, custom options, ...). */
+    void
+    addCell(Cell cell)
+    {
+        futures_.push_back(pool_.submit(std::move(cell)));
+    }
+
+    /** Queued cells not yet collected by run(). */
+    std::size_t pending() const { return futures_.size(); }
+
+    /** Number of worker threads. */
+    unsigned threads() const { return pool_.size(); }
+
+    /**
+     * Wait for every queued cell and return the rows in insertion
+     * order. Rethrows the first cell exception, if any.
+     */
+    std::vector<sim::SingleCoreResult>
+    run()
+    {
+        std::vector<sim::SingleCoreResult> rows;
+        rows.reserve(futures_.size());
+        for (auto &f : futures_)
+            rows.push_back(f.get());
+        futures_.clear();
+        return rows;
+    }
+
+  private:
+    ThreadPool pool_;
+    std::vector<std::future<sim::SingleCoreResult>> futures_;
+};
+
+/**
+ * Map @p fn over @p items on a worker pool; results come back in item
+ * order, so printing them serially reproduces the serial harness's
+ * output byte for byte. Used by harnesses whose unit of work is not a
+ * (workload x policy) simulation (e.g. fig9's offline training).
+ */
+template <typename Item, typename Fn>
+auto
+parallelMap(const std::vector<Item> &items, Fn fn,
+            unsigned threads = sweepThreads())
+    -> std::vector<decltype(fn(items.front()))>
+{
+    using R = decltype(fn(items.front()));
+    ThreadPool pool(threads);
+    std::vector<std::future<R>> futures;
+    futures.reserve(items.size());
+    for (const auto &item : items)
+        futures.push_back(pool.submit([&fn, &item] { return fn(item); }));
+    std::vector<R> out;
+    out.reserve(futures.size());
+    for (auto &f : futures)
+        out.push_back(f.get());
+    return out;
 }
 
 } // namespace bench

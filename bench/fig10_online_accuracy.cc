@@ -42,7 +42,7 @@ main()
                 "Glider", "Delta");
     std::vector<double> hk, gl;
     for (const auto &name : workloads::figure10Workloads()) {
-        auto trace = bench::buildTrace(name);
+        const auto &trace = bench::buildTrace(name);
         double h = 100.0 * onlineAccuracy(trace, "Hawkeye");
         double g = 100.0 * onlineAccuracy(trace, "Glider");
         hk.push_back(h);

@@ -5,6 +5,10 @@
  * (SPEC17 / SPEC06 / GAP) and overall averages. Also prints the MIN
  * (Belady) row as the upper bound, as the paper's §5.1 does for
  * single-thread runs.
+ *
+ * Runs on the parallel SweepRunner: every (workload x policy) cell is
+ * an independent simulation fanned across GLIDER_THREADS workers; the
+ * printed rows are byte-identical to the serial harness.
  */
 
 #include "bench_common.hh"
@@ -37,6 +41,19 @@ main()
         "averages — Glider 8.9%, SHiP++ 7.5%, Hawkeye 7.1%, MPPPB 6.5%");
 
     const auto policies = core::paperLineup(); // Hawkeye MPPPB SHiP++ Glider
+    const auto names = workloads::figure11Workloads();
+
+    // Per workload: the LRU baseline, the lineup, then the MIN bound.
+    bench::SweepRunner sweep;
+    for (const auto &name : names) {
+        sweep.add(name, "LRU");
+        for (const auto &p : policies)
+            sweep.add(name, p);
+        sweep.addCell([name] { return runMin(bench::buildTrace(name)); });
+    }
+    const auto rows = sweep.run();
+    const std::size_t stride = policies.size() + 2;
+
     std::printf("%-14s %9s", "Benchmark", "LRU-MPKI");
     for (const auto &p : policies)
         std::printf(" %9s", p.c_str());
@@ -44,9 +61,10 @@ main()
 
     std::map<std::string, std::vector<double>> suite_acc;
     std::map<std::string, std::vector<double>> all_acc;
-    for (const auto &name : workloads::figure11Workloads()) {
-        auto trace = bench::buildTrace(name);
-        auto lru = bench::runPolicy(trace, "LRU");
+    for (std::size_t i = 0; i < names.size(); ++i) {
+        const auto &name = names[i];
+        const sim::SingleCoreResult *row = &rows[i * stride];
+        const auto &lru = row[0];
         std::printf("%-14s %9.2f", name.c_str(), lru.mpki());
         std::string suite =
             workloads::suiteOf(name) == workloads::Suite::Spec2006
@@ -54,15 +72,14 @@ main()
                 : (workloads::suiteOf(name) == workloads::Suite::Spec2017
                        ? "SPEC17"
                        : "GAP");
-        for (const auto &p : policies) {
-            auto res = bench::runPolicy(trace, p);
-            double red = bench::missReductionPct(lru, res);
+        for (std::size_t p = 0; p < policies.size(); ++p) {
+            double red = bench::missReductionPct(lru, row[1 + p]);
             std::printf(" %8.1f%%", red);
-            suite_acc[suite + "/" + p].push_back(red);
-            all_acc[p].push_back(red);
+            suite_acc[suite + "/" + policies[p]].push_back(red);
+            all_acc[policies[p]].push_back(red);
         }
-        auto min_res = runMin(trace);
-        std::printf(" %8.1f%%\n", bench::missReductionPct(lru, min_res));
+        std::printf(" %8.1f%%\n",
+                    bench::missReductionPct(lru, row[stride - 1]));
         std::fflush(stdout);
     }
 

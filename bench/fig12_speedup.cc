@@ -3,6 +3,10 @@
  * Figure 12: speedup over LRU for the 33 single-core benchmarks
  * (Hawkeye, MPPPB, SHiP++, Glider) with suite and overall averages,
  * using the OoO-lite timing model (see cachesim/core_model.hh).
+ *
+ * Runs on the parallel SweepRunner: every (workload x policy) cell is
+ * an independent simulation fanned across GLIDER_THREADS workers; the
+ * printed rows are byte-identical to the serial harness.
  */
 
 #include "bench_common.hh"
@@ -18,6 +22,17 @@ main()
         "averages — Glider 8.1%, MPPPB 7.6%, SHiP++ 7.1%, Hawkeye 5.9%");
 
     const auto policies = core::paperLineup();
+    const auto names = workloads::figure11Workloads();
+
+    bench::SweepRunner sweep;
+    for (const auto &name : names) {
+        sweep.add(name, "LRU");
+        for (const auto &p : policies)
+            sweep.add(name, p);
+    }
+    const auto rows = sweep.run();
+    const std::size_t stride = policies.size() + 1;
+
     std::printf("%-14s %9s", "Benchmark", "LRU-IPC");
     for (const auto &p : policies)
         std::printf(" %9s", p.c_str());
@@ -25,9 +40,10 @@ main()
 
     std::map<std::string, std::vector<double>> suite_acc;
     std::map<std::string, std::vector<double>> all_acc;
-    for (const auto &name : workloads::figure11Workloads()) {
-        auto trace = bench::buildTrace(name);
-        auto lru = bench::runPolicy(trace, "LRU");
+    for (std::size_t i = 0; i < names.size(); ++i) {
+        const auto &name = names[i];
+        const sim::SingleCoreResult *row = &rows[i * stride];
+        const auto &lru = row[0];
         std::printf("%-14s %9.3f", name.c_str(), lru.ipc);
         std::string suite =
             workloads::suiteOf(name) == workloads::Suite::Spec2006
@@ -35,12 +51,11 @@ main()
                 : (workloads::suiteOf(name) == workloads::Suite::Spec2017
                        ? "SPEC17"
                        : "GAP");
-        for (const auto &p : policies) {
-            auto res = bench::runPolicy(trace, p);
-            double up = bench::speedupPct(lru, res);
+        for (std::size_t p = 0; p < policies.size(); ++p) {
+            double up = bench::speedupPct(lru, row[1 + p]);
             std::printf(" %8.1f%%", up);
-            suite_acc[suite + "/" + p].push_back(up);
-            all_acc[p].push_back(up);
+            suite_acc[suite + "/" + policies[p]].push_back(up);
+            all_acc[policies[p]].push_back(up);
         }
         std::printf("\n");
         std::fflush(stdout);

@@ -27,7 +27,7 @@ main()
 
     std::vector<offline::OfflineDataset> datasets;
     for (const auto &name : subset) {
-        auto trace = bench::buildTrace(name);
+        const auto &trace = bench::buildTrace(name);
         datasets.push_back(offline::buildDataset(trace));
         bench::capDataset(datasets.back(), 120'000);
     }

@@ -27,7 +27,7 @@ main()
                                          std::vector<double>(epochs + 1,
                                                              0.0));
     for (const auto &name : subset) {
-        auto trace = bench::buildTrace(name);
+        const auto &trace = bench::buildTrace(name);
         auto ds = offline::buildDataset(trace);
         bench::capDataset(ds, 120'000);
 

@@ -20,7 +20,7 @@ main()
         "scale 1..5 all reach ~85% accuracy; higher scales shift the "
         "CDF toward sparse weight distributions");
 
-    auto trace = bench::buildTrace("omnetpp");
+    const auto &trace = bench::buildTrace("omnetpp");
     auto ds = offline::buildDataset(trace);
     bench::capDataset(ds, 100'000);
 

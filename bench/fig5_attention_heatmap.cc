@@ -43,7 +43,7 @@ main()
         "white (here '@'/'#') boxes concentrate on a few source "
         "offsets; oblique lines across rows");
 
-    auto trace = bench::buildTrace("omnetpp");
+    const auto &trace = bench::buildTrace("omnetpp");
     auto ds = offline::buildDataset(trace);
     bench::capDataset(ds, 100'000);
 

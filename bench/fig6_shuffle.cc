@@ -22,7 +22,7 @@ main()
                 "Shuffled", "Delta");
     std::vector<double> ord, shuf;
     for (const auto &name : workloads::offlineSubset()) {
-        auto trace = bench::buildTrace(name);
+        const auto &trace = bench::buildTrace(name);
         auto ds = offline::buildDataset(trace);
         bench::capDataset(ds, 100'000);
         offline::AttentionLstmModel lstm(ds.vocab(),

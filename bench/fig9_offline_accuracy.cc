@@ -5,6 +5,11 @@
  * offline ISVM (k-sparse unordered feature), and the attention-based
  * LSTM, all trained on Belady labels with the 75/25 split of §5.1.
  *
+ * Each workload's dataset build + model training is independent, so
+ * the harness fans workloads across GLIDER_THREADS workers
+ * (bench::parallelMap) and prints the collected rows in workload
+ * order — byte-identical to the serial harness.
+ *
  * Note on dimensions: the paper trains embedding/hidden 128 (Table
  * 5); this harness defaults to GLIDER_LSTM_DIM=32 so the full sweep
  * runs in minutes on a laptop. The orderings are unaffected; export
@@ -15,6 +20,50 @@
 #include "common/stats_util.hh"
 
 using namespace glider;
+
+namespace {
+
+/** One Figure 9 row: per-model test accuracy (percent). */
+struct Row
+{
+    double majority = 0.0;
+    double hawkeye = 0.0;
+    double perceptron = 0.0;
+    double isvm = 0.0;
+    double lstm = 0.0;
+};
+
+Row
+trainAndEvaluate(const std::string &name,
+                 const offline::LstmConfig &lstm_cfg)
+{
+    const auto &trace = bench::buildTrace(name);
+    auto ds = offline::buildDataset(trace);
+    bench::capDataset(ds, 150'000);
+
+    offline::OfflineHawkeye hawkeye(ds.vocab());
+    offline::OfflinePerceptron perceptron(ds.vocab(), 3, 0.05f);
+    offline::OfflineIsvm isvm(ds.vocab(), 5, 0.1f);
+    offline::AttentionLstmModel lstm(ds.vocab(), lstm_cfg);
+
+    for (int e = 0; e < 3; ++e) {
+        hawkeye.trainEpoch(ds);
+        perceptron.trainEpoch(ds);
+        isvm.trainEpoch(ds);
+    }
+    for (int e = 0; e < bench::lstmEpochs(); ++e)
+        lstm.trainEpoch(ds);
+
+    Row row;
+    row.majority = 100.0 * offline::majorityBaseline(ds);
+    row.hawkeye = 100.0 * hawkeye.evaluate(ds);
+    row.perceptron = 100.0 * perceptron.evaluate(ds);
+    row.isvm = 100.0 * isvm.evaluate(ds);
+    row.lstm = 100.0 * lstm.evaluate(ds);
+    return row;
+}
+
+} // namespace
 
 int
 main()
@@ -29,39 +78,25 @@ main()
                 lstm_cfg.embedding, lstm_cfg.hidden,
                 static_cast<double>(lstm_cfg.lr));
 
+    const auto names = workloads::offlineSubset();
+    const auto rows = bench::parallelMap(
+        names, [&lstm_cfg](const std::string &name) {
+            return trainAndEvaluate(name, lstm_cfg);
+        });
+
     std::printf("%-10s %9s %10s %12s %12s %10s\n", "Program",
                 "Majority", "Hawkeye", "Perceptron", "OfflineISVM",
                 "LSTM");
     std::vector<double> acc_h, acc_p, acc_i, acc_l;
-    for (const auto &name : workloads::offlineSubset()) {
-        auto trace = bench::buildTrace(name);
-        auto ds = offline::buildDataset(trace);
-        bench::capDataset(ds, 150'000);
-
-        offline::OfflineHawkeye hawkeye(ds.vocab());
-        offline::OfflinePerceptron perceptron(ds.vocab(), 3, 0.05f);
-        offline::OfflineIsvm isvm(ds.vocab(), 5, 0.1f);
-        offline::AttentionLstmModel lstm(ds.vocab(), lstm_cfg);
-
-        for (int e = 0; e < 3; ++e) {
-            hawkeye.trainEpoch(ds);
-            perceptron.trainEpoch(ds);
-            isvm.trainEpoch(ds);
-        }
-        for (int e = 0; e < bench::lstmEpochs(); ++e)
-            lstm.trainEpoch(ds);
-
-        double h = 100.0 * hawkeye.evaluate(ds);
-        double p = 100.0 * perceptron.evaluate(ds);
-        double i = 100.0 * isvm.evaluate(ds);
-        double l = 100.0 * lstm.evaluate(ds);
-        acc_h.push_back(h);
-        acc_p.push_back(p);
-        acc_i.push_back(i);
-        acc_l.push_back(l);
+    for (std::size_t i = 0; i < names.size(); ++i) {
+        const Row &row = rows[i];
+        acc_h.push_back(row.hawkeye);
+        acc_p.push_back(row.perceptron);
+        acc_i.push_back(row.isvm);
+        acc_l.push_back(row.lstm);
         std::printf("%-10s %8.1f%% %9.1f%% %11.1f%% %11.1f%% %9.1f%%\n",
-                    name.c_str(), 100.0 * offline::majorityBaseline(ds),
-                    h, p, i, l);
+                    names[i].c_str(), row.majority, row.hawkeye,
+                    row.perceptron, row.isvm, row.lstm);
         std::fflush(stdout);
     }
     std::printf("%-10s %9s %9.1f%% %11.1f%% %11.1f%% %9.1f%%\n",

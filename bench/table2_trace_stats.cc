@@ -23,7 +23,7 @@ main()
     std::printf("%-14s %10s %8s %10s %10s %10s\n", "Program",
                 "#Accesses", "#PCs", "#Addrs", "Acc/PC", "Acc/Addr");
     for (const auto &name : workloads::offlineSubset()) {
-        auto cpu = bench::buildTrace(name);
+        const auto &cpu = bench::buildTrace(name);
         auto llc = opt::extractLlcStream(cpu);
         auto stats = traces::computeStats(llc);
         std::printf("%s\n", traces::formatStatsRow(stats).c_str());

@@ -30,8 +30,7 @@ class BasicLruPolicy : public ReplacementPolicy
     }
 
     std::uint32_t
-    victimWay(const ReplacementAccess &access,
-              const std::vector<LineView> &lines) override
+    victimWay(const ReplacementAccess &access, SetView lines) override
     {
         const std::uint64_t *row = &stamps_[access.set * geom_.ways];
         std::uint32_t victim = 0;

@@ -51,8 +51,8 @@ Cache::access(std::uint8_t core, std::uint64_t pc,
     }
 
     ++stats_.misses;
-    std::vector<LineView> view(base, base + config_.ways);
-    std::uint32_t victim = policy_->victimWay(acc, view);
+    std::uint32_t victim =
+        policy_->victimWay(acc, SetView{base, config_.ways});
     if (victim >= config_.ways) {
         // Bypass: the line is forwarded without being cached.
         ++stats_.bypasses;

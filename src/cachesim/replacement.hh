@@ -12,7 +12,6 @@
 
 #include <cstdint>
 #include <string>
-#include <vector>
 
 namespace glider {
 namespace sim {
@@ -30,6 +29,26 @@ struct LineView
 {
     bool valid = false;
     std::uint64_t block_addr = 0;
+};
+
+/**
+ * Non-owning view of one set's ways in the cache's tag array, passed
+ * to victim selection. Cheap to copy (pointer + count): the cache
+ * hands out its own storage, so the miss path never allocates. The
+ * view is only valid for the duration of the victimWay call.
+ */
+struct SetView
+{
+    const LineView *lines = nullptr;
+    std::uint32_t ways = 0;
+
+    const LineView &operator[](std::uint32_t way) const
+    {
+        return lines[way];
+    }
+    std::uint32_t size() const { return ways; }
+    const LineView *begin() const { return lines; }
+    const LineView *end() const { return lines + ways; }
 };
 
 /** One access as seen by the replacement policy. */
@@ -65,12 +84,12 @@ class ReplacementPolicy
 
     /**
      * Choose a victim for a miss in @p access.set.
-     * @param lines The set's ways in way order.
+     * @param lines Zero-copy view of the set's ways in way order;
+     *              valid only for the duration of the call.
      * @return way index in [0, ways), or ways to bypass the cache.
      */
     virtual std::uint32_t victimWay(const ReplacementAccess &access,
-                                    const std::vector<LineView> &lines)
-        = 0;
+                                    SetView lines) = 0;
 
     /** The access hit in @p way. */
     virtual void onHit(const ReplacementAccess &access,

@@ -62,23 +62,19 @@ runMultiCore(const std::vector<const traces::Trace *> &traces,
     std::uint64_t warmup = static_cast<std::uint64_t>(
         opts.warmup_fraction * static_cast<double>(min_accesses_per_core));
     bool warm = warmup == 0;
+    // Countdown bookkeeping: per-core counters only ever cross their
+    // quota once (increments are +1 and only reset at the warm
+    // transition), so a count of not-yet-there cores replaces the
+    // O(cores) rescan of every `executed` entry on every access.
+    unsigned cold_cores = warm ? 0 : cores;
+    unsigned pending_cores = min_accesses_per_core > 0 ? cores : 0;
 
     // Timing-ordered interleave: always advance the core with the
     // lowest accumulated cycle count, which is how simultaneous
     // execution serialises onto the shared LLC. All cores keep
     // running (with trace rewind) until every core has executed its
     // measured quota — the paper's early-finisher rewind rule.
-    auto done = [&] {
-        if (!warm)
-            return false;
-        for (unsigned c = 0; c < cores; ++c) {
-            if (executed[c] < min_accesses_per_core)
-                return false;
-        }
-        return true;
-    };
-
-    while (!done()) {
+    while (!warm || pending_cores > 0) {
         unsigned next = 0;
         for (unsigned c = 1; c < cores; ++c) {
             if (models[c].cycles() < models[next].cycles())
@@ -98,18 +94,15 @@ runMultiCore(const std::vector<const traces::Trace *> &traces,
         ++executed[next];
 
         if (!warm) {
-            bool all_warm = true;
-            for (unsigned c = 0; c < cores; ++c) {
-                if (executed[c] < warmup)
-                    all_warm = false;
-            }
-            if (all_warm) {
+            if (executed[next] == warmup && --cold_cores == 0) {
                 warm = true;
                 hier.clearStatsCounters();
                 for (auto &m : models)
                     m.clearCounters();
                 executed.assign(cores, 0);
             }
+        } else if (executed[next] == min_accesses_per_core) {
+            --pending_cores;
         }
     }
 

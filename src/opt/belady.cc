@@ -119,7 +119,7 @@ BeladyPolicy::advance(const sim::ReplacementAccess &access)
 
 std::uint32_t
 BeladyPolicy::victimWay(const sim::ReplacementAccess &access,
-                        const std::vector<sim::LineView> &lines)
+                        sim::SetView lines)
 {
     std::size_t i = advance(access);
     std::size_t incoming_next = next_use_[i];

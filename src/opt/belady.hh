@@ -69,8 +69,7 @@ class BeladyPolicy : public sim::ReplacementPolicy
     std::string name() const override { return "MIN"; }
     void reset(const sim::CacheGeometry &geom) override;
     std::uint32_t victimWay(const sim::ReplacementAccess &access,
-                            const std::vector<sim::LineView> &lines)
-        override;
+                            sim::SetView lines) override;
     void onHit(const sim::ReplacementAccess &access,
                std::uint32_t way) override;
     void onEvict(const sim::ReplacementAccess &access, std::uint32_t way,

@@ -58,7 +58,7 @@ OptGuidedPolicy::sample(const sim::ReplacementAccess &access,
 
 std::uint32_t
 OptGuidedPolicy::victimWay(const sim::ReplacementAccess &access,
-                           const std::vector<sim::LineView> &lines)
+                           sim::SetView lines)
 {
     std::uint8_t *row = &rrpv_[access.set * geom_.ways];
     for (std::uint32_t w = 0; w < geom_.ways; ++w) {

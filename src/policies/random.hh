@@ -29,8 +29,7 @@ class RandomPolicy : public sim::ReplacementPolicy
     }
 
     std::uint32_t
-    victimWay(const sim::ReplacementAccess &,
-              const std::vector<sim::LineView> &lines) override
+    victimWay(const sim::ReplacementAccess &, sim::SetView lines) override
     {
         for (std::uint32_t w = 0; w < geom_.ways; ++w) {
             if (!lines[w].valid)

@@ -34,7 +34,7 @@ class RrpvBase : public sim::ReplacementPolicy
 
     std::uint32_t
     victimWay(const sim::ReplacementAccess &access,
-              const std::vector<sim::LineView> &lines) override
+              sim::SetView lines) override
     {
         for (std::uint32_t w = 0; w < geom_.ways; ++w) {
             if (!lines[w].valid)
@@ -128,7 +128,7 @@ class DrripPolicy : public RrpvBase
 
     std::uint32_t
     victimWay(const sim::ReplacementAccess &access,
-              const std::vector<sim::LineView> &lines) override
+              sim::SetView lines) override
     {
         // A miss in a leader set votes against that leader's policy.
         switch (leaderKind(access.set)) {

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Process-wide cache of generated traces.
+ *
+ * Synthetic trace generation is the most expensive fixed cost of an
+ * experiment sweep: at the default bench length a single workload is
+ * tens of millions of RNG draws. TraceCache guarantees each
+ * (name, accesses) trace is built exactly once per process and then
+ * shared read-only by every policy and every harness that asks for
+ * it — including concurrent askers on different worker threads.
+ */
+
+#ifndef GLIDER_TRACES_TRACE_CACHE_HH
+#define GLIDER_TRACES_TRACE_CACHE_HH
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+
+#include "trace.hh"
+
+namespace glider {
+namespace traces {
+
+/**
+ * Thread-safe memoisation of trace generation, keyed by workload
+ * name + access count. Concurrent get() calls for the same key block
+ * until the single build finishes; distinct keys build in parallel
+ * (the map lock is not held during generation). Returned references
+ * stay valid until clear().
+ */
+class TraceCache
+{
+  public:
+    /** Fills @p out with the trace for (name, accesses). */
+    using Builder = std::function<void(const std::string &name,
+                                       std::uint64_t accesses,
+                                       Trace &out)>;
+
+    explicit TraceCache(Builder builder) : builder_(std::move(builder)) {}
+
+    /** The trace for (name, accesses), building it on first request. */
+    const Trace &
+    get(const std::string &name, std::uint64_t accesses)
+    {
+        Slot *slot;
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            auto &entry = slots_[std::make_pair(name, accesses)];
+            if (!entry)
+                entry = std::make_unique<Slot>();
+            slot = entry.get();
+        }
+        std::call_once(slot->once, [&] {
+            builder_(name, accesses, slot->trace);
+            if (slot->trace.name().empty())
+                slot->trace.setName(name);
+        });
+        return slot->trace;
+    }
+
+    /** Number of distinct traces requested so far. */
+    std::size_t
+    size() const
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        return slots_.size();
+    }
+
+    /**
+     * Drop every cached trace, invalidating references previously
+     * returned by get(). The caller must ensure no build is in
+     * flight.
+     */
+    void
+    clear()
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        slots_.clear();
+    }
+
+  private:
+    /** One cache entry; once-initialised so builds never repeat. */
+    struct Slot
+    {
+        std::once_flag once;
+        Trace trace;
+    };
+
+    Builder builder_;
+    mutable std::mutex mutex_;
+    std::map<std::pair<std::string, std::uint64_t>,
+             std::unique_ptr<Slot>>
+        slots_;
+};
+
+} // namespace traces
+} // namespace glider
+
+#endif // GLIDER_TRACES_TRACE_CACHE_HH

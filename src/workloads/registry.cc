@@ -1,9 +1,7 @@
 #include "registry.hh"
 
-#include <map>
-#include <mutex>
-
 #include "common/logging.hh"
+#include "traces/trace_cache.hh"
 #include "graph_kernels.hh"
 #include "scheduler_kernel.hh"
 #include "spec_kernels.hh"
@@ -284,18 +282,16 @@ makeWorkload(const std::string &name, std::uint64_t target_accesses)
 const traces::Trace &
 cachedTrace(const std::string &name, std::uint64_t target_accesses)
 {
-    static std::mutex mutex;
-    static std::map<std::pair<std::string, std::uint64_t>,
-                    std::unique_ptr<traces::Trace>> cache;
-    std::lock_guard<std::mutex> lock(mutex);
-    auto key = std::make_pair(name, target_accesses);
-    auto it = cache.find(key);
-    if (it == cache.end()) {
-        auto trace = std::make_unique<traces::Trace>(name);
-        makeWorkload(name, target_accesses)->run(*trace);
-        it = cache.emplace(key, std::move(trace)).first;
-    }
-    return *it->second;
+    // Process-wide: all benches, tests, and sweep workers share one
+    // generation per (name, length). Distinct traces can build
+    // concurrently; only same-key requests wait on each other.
+    static traces::TraceCache cache(
+        [](const std::string &n, std::uint64_t accesses,
+           traces::Trace &out) {
+            out.setName(n);
+            makeWorkload(n, accesses)->run(out);
+        });
+    return cache.get(name, target_accesses);
 }
 
 } // namespace workloads

@@ -91,8 +91,7 @@ class AlwaysBypass : public ReplacementPolicy
     std::string name() const override { return "bypass"; }
     void reset(const CacheGeometry &geom) override { geom_ = geom; }
     std::uint32_t
-    victimWay(const ReplacementAccess &,
-              const std::vector<LineView> &) override
+    victimWay(const ReplacementAccess &, SetView) override
     {
         return geom_.ways;
     }
