@@ -1,0 +1,168 @@
+/**
+ * @file
+ * Differential-oracle gate: Belady MIN vs OPTgen, as JSON.
+ *
+ * For each workload in the suite, extracts the LLC access stream,
+ * replays it through the exact Belady oracle and through OPTgen on
+ * sampled sets (verify::diffOracles), and emits one JSON document
+ * with per-workload and aggregate agreement plus the
+ * lowest-agreement PCs. Exits nonzero when the mean agreement falls
+ * below the gate, so CI can use it directly.
+ *
+ * Knobs (environment):
+ *   GLIDER_ACCESSES              CPU trace length (default 2M)
+ *   GLIDER_VERIFY_WORKLOADS      "offline" (default), "fig10", "all",
+ *                                or a comma-separated name list
+ *   GLIDER_VERIFY_MIN_AGREEMENT  gate on mean agreement (default 0.95)
+ */
+
+#include <cinttypes>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_common.hh"
+#include "opt/llc_stream.hh"
+#include "verify/oracle_diff.hh"
+
+namespace glider {
+namespace bench {
+namespace {
+
+std::vector<std::string>
+suiteWorkloads()
+{
+    const char *v = std::getenv("GLIDER_VERIFY_WORKLOADS");
+    std::string spec = v ? v : "offline";
+    if (spec == "offline")
+        return workloads::offlineSubset();
+    if (spec == "fig10")
+        return workloads::figure10Workloads();
+    if (spec == "all")
+        return workloads::allWorkloads();
+    std::vector<std::string> names;
+    std::size_t start = 0;
+    while (start <= spec.size()) {
+        std::size_t comma = spec.find(',', start);
+        if (comma == std::string::npos)
+            comma = spec.size();
+        if (comma > start)
+            names.push_back(spec.substr(start, comma - start));
+        start = comma + 1;
+    }
+    return names;
+}
+
+double
+minAgreement()
+{
+    const char *v = std::getenv("GLIDER_VERIFY_MIN_AGREEMENT");
+    return v ? std::strtod(v, nullptr) : 0.95;
+}
+
+struct WorkloadRow
+{
+    std::string name;
+    std::uint64_t llc_accesses = 0;
+    verify::OracleDiffResult diff;
+};
+
+void
+printRow(const WorkloadRow &row, bool last)
+{
+    const verify::OracleDiffResult &d = row.diff;
+    std::printf("    {\n");
+    std::printf("      \"workload\": \"%s\",\n", row.name.c_str());
+    std::printf("      \"llc_accesses\": %" PRIu64 ",\n",
+                row.llc_accesses);
+    std::printf("      \"sampled_accesses\": %" PRIu64 ",\n",
+                d.sampled_accesses);
+    std::printf("      \"labelled_events\": %" PRIu64 ",\n", d.events);
+    std::printf("      \"agreement\": %.4f,\n", d.agreement());
+    std::printf("      \"belady_hit_rate\": %.4f,\n", d.belady_hit_rate);
+    std::printf("      \"belady_friendly_rate\": %.4f,\n",
+                d.events ? static_cast<double>(d.belady_friendly)
+                        / static_cast<double>(d.events)
+                         : 0.0);
+    std::printf("      \"optgen_friendly_rate\": %.4f,\n",
+                d.events ? static_cast<double>(d.optgen_friendly)
+                        / static_cast<double>(d.events)
+                         : 0.0);
+    std::printf("      \"worst_pcs\": [");
+    auto worst = d.worstPcs(5);
+    for (std::size_t i = 0; i < worst.size(); ++i) {
+        std::printf("%s\n        {\"pc\": \"0x%" PRIx64
+                    "\", \"events\": %" PRIu64
+                    ", \"agreement\": %.4f}",
+                    i ? "," : "", worst[i].pc, worst[i].events,
+                    worst[i].rate());
+    }
+    std::printf("%s]\n", worst.empty() ? "" : "\n      ");
+    std::printf("    }%s\n", last ? "" : ",");
+}
+
+int
+run()
+{
+    std::vector<std::string> names = suiteWorkloads();
+    if (names.empty()) {
+        std::fprintf(stderr, "verify_oracles: empty workload suite\n");
+        return 2;
+    }
+
+    // LLC-stream extraction and the two oracle replays are
+    // independent per workload: fan them across the worker pool.
+    std::vector<WorkloadRow> rows = parallelMap(
+        names, [](const std::string &name) {
+            WorkloadRow row;
+            row.name = name;
+            traces::Trace llc = opt::extractLlcStream(buildTrace(name));
+            row.llc_accesses = llc.size();
+            row.diff = verify::diffOracles(llc);
+            return row;
+        });
+
+    double gate = minAgreement();
+    double sum = 0.0;
+    std::uint64_t total_events = 0, total_agree = 0;
+    for (const auto &row : rows) {
+        sum += row.diff.agreement();
+        total_events += row.diff.events;
+        total_agree += row.diff.agreements;
+    }
+    double mean = sum / static_cast<double>(rows.size());
+    double pooled = total_events
+        ? static_cast<double>(total_agree)
+            / static_cast<double>(total_events)
+        : 1.0;
+
+    std::printf("{\n");
+    std::printf("  \"suite\": [\n");
+    for (std::size_t i = 0; i < rows.size(); ++i)
+        printRow(rows[i], i + 1 == rows.size());
+    std::printf("  ],\n");
+    std::printf("  \"mean_agreement\": %.4f,\n", mean);
+    std::printf("  \"pooled_agreement\": %.4f,\n", pooled);
+    std::printf("  \"gate\": %.4f,\n", gate);
+    std::printf("  \"pass\": %s\n", mean >= gate ? "true" : "false");
+    std::printf("}\n");
+
+    if (mean < gate) {
+        std::fprintf(stderr,
+                     "verify_oracles: mean Belady-vs-OPTgen agreement "
+                     "%.4f below gate %.4f\n",
+                     mean, gate);
+        return 1;
+    }
+    return 0;
+}
+
+} // namespace
+} // namespace bench
+} // namespace glider
+
+int
+main()
+{
+    return glider::bench::run();
+}

@@ -58,8 +58,10 @@ Cache::access(std::uint8_t core, std::uint64_t pc,
         ++stats_.bypasses;
         return false;
     }
-    if (base[victim].valid)
+    if (base[victim].valid) {
+        ++stats_.evictions;
         policy_->onEvict(acc, victim, base[victim]);
+    }
     base[victim].valid = true;
     base[victim].block_addr = block_addr;
     policy_->onInsert(acc, victim);

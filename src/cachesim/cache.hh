@@ -28,6 +28,7 @@ struct CacheStats
     std::uint64_t hits = 0;
     std::uint64_t misses = 0;
     std::uint64_t bypasses = 0;
+    std::uint64_t evictions = 0; //!< misses that displaced a valid line
 
     double
     missRate() const

@@ -2,6 +2,7 @@
 
 #include "common/logging.hh"
 #include "glider_policy.hh"
+#include "verify/checked_policy.hh"
 #include "policies/hawkeye.hh"
 #include "policies/lru.hh"
 #include "policies/mpppb.hh"
@@ -26,8 +27,10 @@ paperLineup()
     return {"Hawkeye", "MPPPB", "SHiP++", "Glider"};
 }
 
+namespace {
+
 std::unique_ptr<sim::ReplacementPolicy>
-makePolicy(const std::string &name)
+makeRawPolicy(const std::string &name)
 {
     if (name == "LRU")
         return std::make_unique<policies::LruPolicy>();
@@ -52,6 +55,23 @@ makePolicy(const std::string &name)
     if (name == "Glider")
         return std::make_unique<GliderPolicy>();
     GLIDER_FATAL("unknown policy: " + name);
+}
+
+} // namespace
+
+std::unique_ptr<sim::ReplacementPolicy>
+makePolicy(const std::string &name)
+{
+    std::unique_ptr<sim::ReplacementPolicy> policy = makeRawPolicy(name);
+#ifdef GLIDER_CHECKED
+    // Checked builds: every simulation driven through the factory
+    // (benches, examples, tests) runs under full invariant checking.
+    // True-LRU additionally gets reference-model victim verification.
+    verify::CheckedPolicy::Options options;
+    options.verify_lru = name == "LRU";
+    policy = verify::checkedPolicy(std::move(policy), options);
+#endif
+    return policy;
 }
 
 } // namespace core

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Failure type and check helper for the verification layer.
+ *
+ * Unlike GLIDER_ASSERT (which aborts), verification checks throw, so
+ * harnesses like the fuzzer can catch a violation, shrink the failing
+ * input, and keep running. An uncaught InvariantViolation still
+ * terminates the process with the message, so in ordinary runs a
+ * violated invariant is as loud as a panic.
+ */
+
+#ifndef GLIDER_VERIFY_INVARIANTS_HH
+#define GLIDER_VERIFY_INVARIANTS_HH
+
+#include <stdexcept>
+#include <string>
+
+namespace glider {
+namespace verify {
+
+/** A structural invariant of the simulator was violated. */
+class InvariantViolation : public std::runtime_error
+{
+  public:
+    explicit InvariantViolation(const std::string &msg)
+        : std::runtime_error(msg)
+    {
+    }
+};
+
+/** Throw InvariantViolation with @p msg unless @p cond holds. */
+inline void
+require(bool cond, const std::string &msg)
+{
+    if (!cond)
+        throw InvariantViolation(msg);
+}
+
+} // namespace verify
+} // namespace glider
+
+#endif // GLIDER_VERIFY_INVARIANTS_HH

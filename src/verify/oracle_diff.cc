@@ -1,0 +1,125 @@
+#include "oracle_diff.hh"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/hash.hh"
+#include "common/logging.hh"
+#include "opt/belady.hh"
+#include "opt/optgen.hh"
+#include "traces/access.hh"
+
+namespace glider {
+namespace verify {
+
+std::vector<PcAgreement>
+OracleDiffResult::worstPcs(std::size_t n, std::uint64_t min_events) const
+{
+    std::vector<PcAgreement> rows;
+    rows.reserve(per_pc.size());
+    for (const auto &kv : per_pc) {
+        if (kv.second.events >= min_events)
+            rows.push_back(kv.second);
+    }
+    std::sort(rows.begin(), rows.end(),
+              [](const PcAgreement &a, const PcAgreement &b) {
+                  if (a.rate() != b.rate())
+                      return a.rate() < b.rate();
+                  if (a.events != b.events)
+                      return a.events > b.events;
+                  return a.pc < b.pc;
+              });
+    if (rows.size() > n)
+        rows.resize(n);
+    return rows;
+}
+
+OracleDiffResult
+diffOracles(const traces::Trace &llc_stream,
+            const OracleDiffConfig &config)
+{
+    GLIDER_ASSERT(config.sets > 0
+                  && (config.sets & (config.sets - 1)) == 0);
+    GLIDER_ASSERT(config.ways > 0);
+
+    OracleDiffResult res;
+    res.stream_accesses = llc_stream.size();
+    if (llc_stream.empty())
+        return res;
+
+    // Ground truth: exact MIN labels for every access of the stream.
+    opt::BeladyResult exact =
+        opt::simulateBelady(llc_stream, config.sets, config.ways);
+    res.belady_hit_rate = exact.hitRate();
+
+    // Sampled sets, hash-ranked exactly like opt::OptGenSampler so the
+    // differential sees the same sets the live policies train on.
+    std::uint64_t sampled_sets =
+        std::min<std::uint64_t>(config.sampled_sets, config.sets);
+    std::vector<std::uint64_t> order(config.sets);
+    std::iota(order.begin(), order.end(), 0);
+    std::sort(order.begin(), order.end(),
+              [](std::uint64_t a, std::uint64_t b) {
+                  return mix64(a) < mix64(b);
+              });
+    std::vector<std::int32_t> slot_of(config.sets, -1);
+    std::vector<opt::OptGenSet> slots;
+    slots.reserve(sampled_sets);
+    for (std::uint64_t i = 0; i < sampled_sets; ++i) {
+        slot_of[order[i]] = static_cast<std::int32_t>(i);
+        slots.emplace_back(config.ways,
+                           config.window_quanta_per_way * config.ways,
+                           config.entries_per_way * config.ways);
+    }
+
+    // OPTgen events name only (pc, block); to line them up with the
+    // exact oracle's per-access labels we track, per block, the index
+    // of its most recent access — the access an event labels.
+    std::unordered_map<std::uint64_t, std::size_t> last_index;
+    last_index.reserve(1024);
+
+    auto tally = [&](const opt::TrainingEvent &ev) {
+        auto it = last_index.find(ev.block);
+        if (it == last_index.end())
+            return; // tracked entry predates our bookkeeping; skip
+        bool exact_friendly = exact.labels[it->second] != 0;
+        ++res.events;
+        res.belady_friendly += exact_friendly;
+        res.optgen_friendly += ev.opt_hit;
+        bool agree = ev.opt_hit == exact_friendly;
+        res.agreements += agree;
+        PcAgreement &pc = res.per_pc[ev.pc];
+        pc.pc = ev.pc;
+        ++pc.events;
+        pc.agree += agree;
+    };
+
+    for (std::size_t i = 0; i < llc_stream.size(); ++i) {
+        const auto &rec = llc_stream[i];
+        std::uint64_t block = traces::blockAddr(rec.address);
+        std::uint64_t set = block & (config.sets - 1);
+        if (slot_of[set] < 0)
+            continue;
+        ++res.sampled_accesses;
+        opt::OptGenSet &og =
+            slots[static_cast<std::size_t>(slot_of[set])];
+
+        // An interval-closing event labels this block's previous
+        // access, so consume it before updating last_index.
+        if (auto ev = og.access(block, rec.pc, rec.core, {}, false,
+                                false)) {
+            tally(*ev);
+        }
+        // Aged-out / displaced entries were labelled cache-averse;
+        // their last_index entries are dead once tallied.
+        while (auto ev = og.popExpired()) {
+            tally(*ev);
+            last_index.erase(ev->block);
+        }
+        last_index[block] = i;
+    }
+    return res;
+}
+
+} // namespace verify
+} // namespace glider

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Differential oracle: exact Belady MIN vs OPTgen on one LLC stream.
+ *
+ * Glider's training labels come from OPTgen, an online approximation
+ * of Belady's decisions (bounded window, bounded tracked entries, set
+ * sampling). The whole pipeline silently degrades if the two oracles
+ * drift apart, so this module replays the same LLC access stream
+ * through both and reports, per PC and in aggregate, how often
+ * OPTgen's cache-friendly/cache-averse verdict for an access matches
+ * the exact oracle's label for that same access.
+ *
+ * Exposed as a library call (diffOracles) for tests and as the
+ * bench/verify_oracles tool, which emits JSON for CI gating.
+ */
+
+#ifndef GLIDER_VERIFY_ORACLE_DIFF_HH
+#define GLIDER_VERIFY_ORACLE_DIFF_HH
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "traces/trace.hh"
+
+namespace glider {
+namespace verify {
+
+/** Geometry and OPTgen budgets for a differential run. */
+struct OracleDiffConfig
+{
+    std::uint64_t sets = 2048; //!< LLC sets (Table 1 default)
+    std::uint32_t ways = 16;   //!< LLC associativity
+    /** Sampled sets, chosen hash-ranked as the Hawkeye sampler does. */
+    std::uint64_t sampled_sets = 64;
+    /** OPTgen sliding window, in quanta per way (Hawkeye uses 8x). */
+    std::size_t window_quanta_per_way = 8;
+    /** Tracked-address budget per sampled set, in entries per way. */
+    std::size_t entries_per_way = 8;
+};
+
+/** Agreement tally for one PC. */
+struct PcAgreement
+{
+    std::uint64_t pc = 0;
+    std::uint64_t events = 0; //!< OPTgen-labelled accesses at this PC
+    std::uint64_t agree = 0;  //!< labels matching exact Belady
+
+    double
+    rate() const
+    {
+        return events ? static_cast<double>(agree)
+                / static_cast<double>(events)
+                      : 1.0;
+    }
+};
+
+/** Outcome of one differential run over an LLC stream. */
+struct OracleDiffResult
+{
+    std::uint64_t stream_accesses = 0;  //!< LLC stream length
+    std::uint64_t sampled_accesses = 0; //!< accesses on sampled sets
+    std::uint64_t events = 0;      //!< labels OPTgen committed to
+    std::uint64_t agreements = 0;  //!< labels matching exact Belady
+    /** Among labelled events: positives under each oracle. */
+    std::uint64_t belady_friendly = 0;
+    std::uint64_t optgen_friendly = 0;
+    double belady_hit_rate = 0.0; //!< exact MIN hit rate on the stream
+    std::unordered_map<std::uint64_t, PcAgreement> per_pc;
+
+    /** Fraction of labelled events where the oracles agree. */
+    double
+    agreement() const
+    {
+        return events ? static_cast<double>(agreements)
+                / static_cast<double>(events)
+                      : 1.0;
+    }
+
+    /**
+     * The @p n lowest-agreement PCs with at least @p min_events
+     * labelled events, worst first.
+     */
+    std::vector<PcAgreement> worstPcs(std::size_t n,
+                                      std::uint64_t min_events = 8) const;
+};
+
+/**
+ * Replay @p llc_stream through exact Belady MIN and through OPTgen
+ * (on sampled sets) and tally per-access label agreement.
+ */
+OracleDiffResult diffOracles(const traces::Trace &llc_stream,
+                             const OracleDiffConfig &config
+                             = OracleDiffConfig());
+
+} // namespace verify
+} // namespace glider
+
+#endif // GLIDER_VERIFY_ORACLE_DIFF_HH

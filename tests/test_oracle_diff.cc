@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Differential tests: OPTgen's cache-friendly/averse labels against
+ * exact Belady MIN on the same LLC streams (verify::diffOracles).
+ *
+ * Two kinds of assertion live here. The agreement floors mirror the
+ * CI gate in bench/verify_oracles: with Hawkeye's published budgets,
+ * OPTgen must track the exact oracle within tolerance on the paper's
+ * workloads. The sensitivity tests are the control group: starved
+ * budgets or adversarial streams must *reduce* agreement, proving
+ * the comparison can actually fail and the high scores are earned.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/rng.hh"
+#include "opt/llc_stream.hh"
+#include "verify/oracle_diff.hh"
+#include "workloads/registry.hh"
+
+namespace glider {
+namespace verify {
+namespace {
+
+/** Thrash stream over @p working_set blocks on a tiny geometry. */
+traces::Trace
+thrashStream(std::uint64_t working_set, int accesses)
+{
+    Rng rng(0x7423);
+    traces::Trace t("thrash");
+    for (int i = 0; i < accesses; ++i) {
+        std::uint64_t block = rng.chance(0.7)
+            ? static_cast<std::uint64_t>(i) % working_set
+            : rng.below(working_set);
+        t.push(0x400000 + (block % 16) * 4, block * 64, false, 0);
+    }
+    return t;
+}
+
+OracleDiffConfig
+tinyGeometry()
+{
+    OracleDiffConfig cfg;
+    cfg.sets = 16;
+    cfg.ways = 4;
+    cfg.sampled_sets = 16; // sample everything: every access labelled
+    return cfg;
+}
+
+TEST(OracleDiff, HighAgreementOnOfflineSubset)
+{
+    std::uint64_t events = 0, agreements = 0;
+    for (const auto &wl : workloads::offlineSubset()) {
+        const auto &trace = workloads::cachedTrace(wl, 150'000);
+        auto stream = opt::extractLlcStream(trace);
+        auto res = diffOracles(stream);
+        EXPECT_GE(res.agreement(), 0.95) << wl;
+        events += res.events;
+        agreements += res.agreements;
+    }
+    ASSERT_GT(events, 0u);
+    EXPECT_GE(static_cast<double>(agreements)
+                  / static_cast<double>(events),
+              0.95);
+}
+
+TEST(OracleDiff, PerPcTalliesSumToTotals)
+{
+    const auto &trace =
+        workloads::cachedTrace(workloads::offlineSubset().front(),
+                               120'000);
+    auto res = diffOracles(opt::extractLlcStream(trace));
+    ASSERT_GT(res.events, 0u);
+    std::uint64_t events = 0, agree = 0;
+    for (const auto &[pc, tally] : res.per_pc) {
+        EXPECT_EQ(pc, tally.pc);
+        EXPECT_LE(tally.agree, tally.events);
+        events += tally.events;
+        agree += tally.agree;
+    }
+    EXPECT_EQ(events, res.events);
+    EXPECT_EQ(agree, res.agreements);
+    EXPECT_LE(res.events, res.sampled_accesses);
+    EXPECT_LE(res.sampled_accesses, res.stream_accesses);
+}
+
+TEST(OracleDiff, PerfectAgreementOnCacheResidentStream)
+{
+    // Working set half the cache: after first touch both oracles
+    // call every access friendly, so agreement is exactly 1.
+    traces::Trace t("resident");
+    for (int round = 0; round < 200; ++round)
+        for (std::uint64_t b = 0; b < 32; ++b)
+            t.push(0x400000, b * 64, false, 0);
+    auto res = diffOracles(t, tinyGeometry());
+    ASSERT_GT(res.events, 0u);
+    EXPECT_DOUBLE_EQ(res.agreement(), 1.0);
+    EXPECT_GT(res.belady_hit_rate, 0.9);
+}
+
+TEST(OracleDiff, StarvedBudgetsReduceAgreement)
+{
+    // Same adversarial stream, honest vs starved OPTgen budgets: the
+    // starved run must disagree with Belady strictly more often —
+    // the differential is sensitive, not a rubber stamp.
+    auto stream = thrashStream(/*working_set=*/192, 20'000);
+    auto honest = diffOracles(stream, tinyGeometry());
+    auto cfg = tinyGeometry();
+    cfg.window_quanta_per_way = 1;
+    cfg.entries_per_way = 1;
+    auto starved = diffOracles(stream, cfg);
+    ASSERT_GT(honest.events, 0u);
+    ASSERT_GT(starved.events, 0u);
+    EXPECT_LT(starved.agreement(), honest.agreement());
+    EXPECT_LT(starved.agreement(), 0.95);
+}
+
+TEST(OracleDiff, WorstPcsOrderedWorstFirst)
+{
+    auto cfg = tinyGeometry();
+    cfg.window_quanta_per_way = 1;
+    cfg.entries_per_way = 1;
+    auto res = diffOracles(thrashStream(192, 20'000), cfg);
+    auto worst = res.worstPcs(4);
+    ASSERT_FALSE(worst.empty());
+    EXPECT_LE(worst.size(), 4u);
+    for (std::size_t i = 1; i < worst.size(); ++i)
+        EXPECT_LE(worst[i - 1].rate(), worst[i].rate());
+    for (const auto &pc : worst)
+        EXPECT_GE(pc.events, 8u);
+}
+
+TEST(OracleDiff, EmptyStreamIsVacuouslyPerfect)
+{
+    auto res = diffOracles(traces::Trace("empty"), tinyGeometry());
+    EXPECT_EQ(res.events, 0u);
+    EXPECT_EQ(res.stream_accesses, 0u);
+    EXPECT_DOUBLE_EQ(res.agreement(), 1.0);
+}
+
+} // namespace
+} // namespace verify
+} // namespace glider
