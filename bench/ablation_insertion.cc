@@ -25,6 +25,7 @@ main()
                                                  "libquantum", "pr"};
     std::printf("%-12s %10s %10s %10s  (LLC miss rate)\n", "Program",
                 "thresh=60", "binary(0)", "all-low");
+    auto report = bench::makeReport("ablation_insertion");
     for (const auto &name : subset) {
         const auto &trace = bench::buildTrace(name);
         std::printf("%-12s", name.c_str());
@@ -35,9 +36,14 @@ main()
             auto res = sim::runSingleCore(
                 trace, std::make_unique<core::GliderPolicy>(cfg), opts);
             std::printf(" %10.4f", res.llcMissRate());
+            report.metric("miss_rate." + name + ".thresh"
+                              + std::to_string(thresh),
+                          res.llcMissRate(), "",
+                          obs::Direction::Info);
         }
         std::printf("\n");
         std::fflush(stdout);
     }
+    report.write();
     return 0;
 }

@@ -27,6 +27,7 @@ main()
         std::printf(" %11zu", k);
     std::printf("\n");
 
+    auto report = bench::makeReport("ablation_pchr_k");
     for (const auto &name : subset) {
         const auto &trace = bench::buildTrace(name);
         std::printf("%-10s", name.c_str());
@@ -44,10 +45,18 @@ main()
             std::printf("  %5.1f%%/%3.0f%%",
                         100.0 * hier.llc().stats().missRate(),
                         100.0 * pol.predictorAccuracy().accuracy());
+            std::string cell = name + ".k" + std::to_string(k);
+            report.metric("miss_rate." + cell,
+                          hier.llc().stats().missRate(), "",
+                          obs::Direction::Info);
+            report.metric("online_accuracy." + cell,
+                          pol.predictorAccuracy().accuracy(), "",
+                          obs::Direction::Info);
         }
         std::printf("\n");
         std::fflush(stdout);
     }
     std::printf("(cells: LLC miss rate / online accuracy)\n");
+    report.write();
     return 0;
 }

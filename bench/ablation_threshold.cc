@@ -27,6 +27,7 @@ main()
         std::printf("   fix=%-5d", t);
     std::printf("  (LLC miss rate)\n");
 
+    auto report = bench::makeReport("ablation_threshold");
     for (const auto &name : subset) {
         const auto &trace = bench::buildTrace(name);
         std::printf("%-10s", name.c_str());
@@ -37,6 +38,8 @@ main()
         auto res = sim::runSingleCore(
             trace, std::make_unique<core::GliderPolicy>(adaptive), opts);
         std::printf(" %8.4f", res.llcMissRate());
+        report.metric("miss_rate." + name + ".adaptive",
+                      res.llcMissRate(), "", obs::Direction::Info);
 
         for (int t : {0, 30, 100, 300, 3000}) {
             core::GliderConfig fixed;
@@ -46,9 +49,13 @@ main()
                 trace, std::make_unique<core::GliderPolicy>(fixed),
                 opts);
             std::printf("   %8.4f", r.llcMissRate());
+            report.metric("miss_rate." + name + ".fixed"
+                              + std::to_string(t),
+                          r.llcMissRate(), "", obs::Direction::Info);
         }
         std::printf("\n");
         std::fflush(stdout);
     }
+    report.write();
     return 0;
 }

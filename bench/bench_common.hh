@@ -13,6 +13,7 @@
 #ifndef GLIDER_BENCH_BENCH_COMMON_HH
 #define GLIDER_BENCH_BENCH_COMMON_HH
 
+#include <chrono>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
@@ -26,6 +27,7 @@
 #include "cachesim/simulator.hh"
 #include "common/thread_pool.hh"
 #include "core/policy_factory.hh"
+#include "obs/bench_report.hh"
 #include "offline/dataset.hh"
 #include "offline/lstm_model.hh"
 #include "offline/simple_models.hh"
@@ -214,18 +216,113 @@ class SweepRunner
     std::vector<sim::SingleCoreResult>
     run()
     {
+        auto start = std::chrono::steady_clock::now();
         std::vector<sim::SingleCoreResult> rows;
         rows.reserve(futures_.size());
         for (auto &f : futures_)
             rows.push_back(f.get());
         futures_.clear();
+        wall_seconds_ += std::chrono::duration<double>(
+                             std::chrono::steady_clock::now() - start)
+                             .count();
+        cells_run_ += rows.size();
+        for (const auto &row : rows) {
+            accesses_simulated_ += row.accesses_simulated;
+            cell_seconds_ += row.sim_seconds;
+        }
         return rows;
+    }
+
+    /** Wall time spent inside run(), summed over calls. */
+    double wallSeconds() const { return wall_seconds_; }
+
+    /** Trace accesses replayed across all collected cells. */
+    std::uint64_t accessesSimulated() const
+    {
+        return accesses_simulated_;
+    }
+
+    /**
+     * Export harness throughput telemetry — wall time, aggregate
+     * accesses/sec, mean per-cell rate, and the pool's queue stats —
+     * into @p registry under @p prefix.
+     */
+    void
+    exportMetrics(obs::Registry &registry,
+                  const std::string &prefix) const
+    {
+        registry.setCounter(prefix + ".cells", cells_run_);
+        registry.setCounter(prefix + ".accesses_simulated",
+                            accesses_simulated_);
+        registry.setGauge(prefix + ".wall_seconds", wall_seconds_);
+        registry.setGauge(prefix + ".accesses_per_sec",
+                          wall_seconds_ > 0.0
+                              ? static_cast<double>(accesses_simulated_)
+                                  / wall_seconds_
+                              : 0.0);
+        registry.setGauge(prefix + ".cell_accesses_per_sec",
+                          cell_seconds_ > 0.0
+                              ? static_cast<double>(accesses_simulated_)
+                                  / cell_seconds_
+                              : 0.0);
+        registry.setGauge(prefix + ".threads", pool_.size());
+        registry.setCounter(prefix + ".pool.submitted",
+                            pool_.submitted());
+        registry.setCounter(prefix + ".pool.completed",
+                            pool_.completed());
+        registry.setCounter(prefix + ".pool.peak_queue_depth",
+                            pool_.peakQueueDepth());
     }
 
   private:
     ThreadPool pool_;
     std::vector<std::future<sim::SingleCoreResult>> futures_;
+    double wall_seconds_ = 0.0;
+    double cell_seconds_ = 0.0; //!< sum of per-cell replay-loop time
+    std::uint64_t cells_run_ = 0;
+    std::uint64_t accesses_simulated_ = 0;
 };
+
+/**
+ * BenchReport preloaded with the shared harness configuration (trace
+ * length, worker count, offline-model knobs), so artifacts record the
+ * environment the numbers were produced under.
+ */
+inline obs::BenchReport
+makeReport(const std::string &name)
+{
+    obs::BenchReport report(name);
+    report.config("accesses",
+                  obs::json::Value(traceAccesses()));
+    report.config("threads",
+                  obs::json::Value(static_cast<std::uint64_t>(
+                      sweepThreads())));
+    report.config("lstm_dim",
+                  obs::json::Value(static_cast<std::uint64_t>(
+                      lstmDim())));
+    report.config("epochs",
+                  obs::json::Value(static_cast<std::int64_t>(
+                      lstmEpochs())));
+    return report;
+}
+
+/**
+ * Attach a sweep's harness telemetry to @p report: throughput as an
+ * info metric plus the full registry export under "extra".harness.
+ */
+inline void
+reportHarness(obs::BenchReport &report, const SweepRunner &sweep)
+{
+    obs::Registry reg;
+    sweep.exportMetrics(reg, "harness");
+    report.attachRegistry("harness", reg);
+    if (sweep.wallSeconds() > 0.0) {
+        report.metric("harness.accesses_per_sec",
+                      static_cast<double>(sweep.accessesSimulated())
+                          / sweep.wallSeconds(),
+                      "accesses/s", obs::Direction::Info);
+    }
+}
 
 /**
  * Map @p fn over @p items on a worker pool; results come back in item

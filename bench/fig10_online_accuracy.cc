@@ -16,14 +16,22 @@ using namespace glider;
 
 namespace {
 
-/** Run a trace against a policy kept reachable for accuracy probes. */
+/**
+ * Run a trace against a policy kept reachable for accuracy probes.
+ * When @p telemetry is non-null the whole hierarchy's metric tree
+ * (per-level stats, predictor training counters, OPTgen occupancy)
+ * is exported into it.
+ */
 double
-onlineAccuracy(const traces::Trace &trace, const std::string &policy)
+onlineAccuracy(const traces::Trace &trace, const std::string &policy,
+               obs::Registry *telemetry = nullptr)
 {
     sim::HierarchyConfig cfg;
     sim::Hierarchy hier(cfg, 1, core::makePolicy(policy));
     for (const auto &rec : trace)
         hier.access(0, rec.pc, rec.address, rec.is_write);
+    if (telemetry)
+        hier.exportMetrics(*telemetry, "hierarchy");
     auto &guided =
         dynamic_cast<policies::OptGuidedPolicy &>(hier.llc().policy());
     return guided.predictorAccuracy().accuracy();
@@ -40,22 +48,42 @@ main()
 
     std::printf("%-14s %10s %10s %8s\n", "Benchmark", "Hawkeye",
                 "Glider", "Delta");
+    auto report = bench::makeReport("fig10_online_accuracy");
+    const auto names = workloads::figure10Workloads();
     std::vector<double> hk, gl;
-    for (const auto &name : workloads::figure10Workloads()) {
+    for (const auto &name : names) {
         const auto &trace = bench::buildTrace(name);
         double h = 100.0 * onlineAccuracy(trace, "Hawkeye");
-        double g = 100.0 * onlineAccuracy(trace, "Glider");
+        // The last workload's Glider run also dumps its full metric
+        // tree into the artifact, as a worked telemetry example.
+        obs::Registry telemetry;
+        bool last = name == names.back();
+        double g = 100.0
+            * onlineAccuracy(trace, "Glider",
+                             last ? &telemetry : nullptr);
+        if (last)
+            report.attachRegistry("glider_telemetry." + name,
+                                  telemetry);
         hk.push_back(h);
         gl.push_back(g);
+        report.metric("online_accuracy_pct." + name + ".Hawkeye", h,
+                      "%", obs::Direction::Info);
+        report.metric("online_accuracy_pct." + name + ".Glider", g,
+                      "%", obs::Direction::Info);
         std::printf("%-14s %9.1f%% %9.1f%% %+7.1f\n", name.c_str(), h,
                     g, g - h);
         std::fflush(stdout);
     }
     std::printf("%-14s %9.1f%% %9.1f%% %+7.1f\n", "average", amean(hk),
                 amean(gl), amean(gl) - amean(hk));
+    report.metric("online_accuracy_pct.avg.Hawkeye", amean(hk), "%",
+                  obs::Direction::HigherBetter);
+    report.metric("online_accuracy_pct.avg.Glider", amean(gl), "%",
+                  obs::Direction::HigherBetter);
     std::printf("\nShape check (paper): Glider's average online "
                 "accuracy exceeds Hawkeye's (88.8%% vs 84.9%% there), "
                 "with the\nlargest gains on context-dependent "
                 "benchmarks (omnetpp-like).\n");
+    report.write();
     return 0;
 }

@@ -59,6 +59,7 @@ main()
         std::printf(" %9s", p.c_str());
     std::printf(" %9s\n", "MIN");
 
+    auto report = bench::makeReport("fig11_miss_reduction");
     std::map<std::string, std::vector<double>> suite_acc;
     std::map<std::string, std::vector<double>> all_acc;
     for (std::size_t i = 0; i < names.size(); ++i) {
@@ -77,9 +78,14 @@ main()
             std::printf(" %8.1f%%", red);
             suite_acc[suite + "/" + policies[p]].push_back(red);
             all_acc[policies[p]].push_back(red);
+            report.metric(
+                "miss_reduction_pct." + name + "." + policies[p], red,
+                "%", obs::Direction::Info);
         }
-        std::printf(" %8.1f%%\n",
-                    bench::missReductionPct(lru, row[stride - 1]));
+        double min_red = bench::missReductionPct(lru, row[stride - 1]);
+        std::printf(" %8.1f%%\n", min_red);
+        report.metric("miss_reduction_pct." + name + ".MIN", min_red,
+                      "%", obs::Direction::Info);
         std::fflush(stdout);
     }
 
@@ -90,18 +96,27 @@ main()
     for (const char *suite : {"SPEC17", "SPEC06", "GAP"}) {
         std::printf("%-14s", suite);
         for (const auto &p : policies) {
-            std::printf(" %11.1f%%",
-                        amean(suite_acc[std::string(suite) + "/" + p]));
+            double avg = amean(suite_acc[std::string(suite) + "/" + p]);
+            std::printf(" %11.1f%%", avg);
+            report.metric("miss_reduction_pct.avg." + std::string(suite)
+                              + "." + p,
+                          avg, "%", obs::Direction::HigherBetter);
         }
         std::printf("\n");
     }
     std::printf("%-14s", "ALL");
-    for (const auto &p : policies)
-        std::printf(" %11.1f%%", amean(all_acc[p]));
+    for (const auto &p : policies) {
+        double avg = amean(all_acc[p]);
+        std::printf(" %11.1f%%", avg);
+        report.metric("miss_reduction_pct.avg.ALL." + p, avg, "%",
+                      obs::Direction::HigherBetter);
+    }
     std::printf("\n");
 
     std::printf("\nShape check (paper): Glider's average reduction "
                 "exceeds Hawkeye's, SHiP++'s, and MPPPB's;\nMIN bounds "
                 "everything from above.\n");
+    bench::reportHarness(report, sweep);
+    report.write();
     return 0;
 }

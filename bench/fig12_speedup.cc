@@ -38,6 +38,7 @@ main()
         std::printf(" %9s", p.c_str());
     std::printf("\n");
 
+    auto report = bench::makeReport("fig12_speedup");
     std::map<std::string, std::vector<double>> suite_acc;
     std::map<std::string, std::vector<double>> all_acc;
     for (std::size_t i = 0; i < names.size(); ++i) {
@@ -56,6 +57,8 @@ main()
             std::printf(" %8.1f%%", up);
             suite_acc[suite + "/" + policies[p]].push_back(up);
             all_acc[policies[p]].push_back(up);
+            report.metric("speedup_pct." + name + "." + policies[p],
+                          up, "%", obs::Direction::Info);
         }
         std::printf("\n");
         std::fflush(stdout);
@@ -68,18 +71,27 @@ main()
     for (const char *suite : {"SPEC17", "SPEC06", "GAP"}) {
         std::printf("%-14s", suite);
         for (const auto &p : policies) {
-            std::printf(" %11.1f%%",
-                        amean(suite_acc[std::string(suite) + "/" + p]));
+            double avg = amean(suite_acc[std::string(suite) + "/" + p]);
+            std::printf(" %11.1f%%", avg);
+            report.metric("speedup_pct.avg." + std::string(suite) + "."
+                              + p,
+                          avg, "%", obs::Direction::HigherBetter);
         }
         std::printf("\n");
     }
     std::printf("%-14s", "ALL");
-    for (const auto &p : policies)
-        std::printf(" %11.1f%%", amean(all_acc[p]));
+    for (const auto &p : policies) {
+        double avg = amean(all_acc[p]);
+        std::printf(" %11.1f%%", avg);
+        report.metric("speedup_pct.avg.ALL." + p, avg, "%",
+                      obs::Direction::HigherBetter);
+    }
     std::printf("\n");
 
     std::printf("\nShape check (paper): speedups track the Figure 11 "
                 "miss reductions sub-linearly, and Glider leads on "
                 "average.\n");
+    bench::reportHarness(report, sweep);
+    report.write();
     return 0;
 }

@@ -96,12 +96,27 @@ main()
         std::printf("\n");
     }
     std::printf("%-6s", "avg");
-    for (const auto &p : policies)
-        std::printf(" %8.1f%%", amean(ws_by_policy[p]));
+    auto report = bench::makeReport("fig13_multicore");
+    report.config("mixes",
+                  obs::json::Value(static_cast<std::uint64_t>(mixes)));
+    report.config("mix_accesses", obs::json::Value(per_core));
+    for (const auto &p : policies) {
+        double avg = amean(ws_by_policy[p]);
+        std::printf(" %8.1f%%", avg);
+        report.metric("weighted_speedup_pct.avg." + p, avg, "%",
+                      obs::Direction::HigherBetter);
+        for (std::size_t m = 0; m < mixes; ++m) {
+            report.metric("weighted_speedup_pct.mix"
+                              + std::to_string(m) + "." + p,
+                          ws_by_policy[p][m], "%",
+                          obs::Direction::Info);
+        }
+    }
     std::printf("\n");
 
     std::printf("\nShape check (paper): Glider's average weighted "
                 "speedup leads Hawkeye/MPPPB, with SHiP++ last among "
                 "the four.\n");
+    report.write();
     return 0;
 }

@@ -37,6 +37,9 @@ main()
         std::printf(" %7zu", len);
     std::printf("\n");
 
+    auto report = bench::makeReport("fig14_history_length");
+    report.config("max_seq",
+                  obs::json::Value(static_cast<std::uint64_t>(max_seq)));
     std::printf("%-22s", "Attention LSTM");
     for (std::size_t len = 10; len <= max_seq; len += 10) {
         double acc = 0.0;
@@ -48,6 +51,9 @@ main()
             acc += 100.0 * lstm.evaluate(ds);
         }
         std::printf(" %6.1f%%", acc / datasets.size());
+        report.metric("accuracy_pct.lstm.seq" + std::to_string(len),
+                      acc / static_cast<double>(datasets.size()), "%",
+                      obs::Direction::Info);
         std::fflush(stdout);
     }
     std::printf("\n");
@@ -67,6 +73,9 @@ main()
             acc += 100.0 * isvm.evaluate(ds);
         }
         std::printf(" %6.1f%%", acc / datasets.size());
+        report.metric("accuracy_pct.isvm.k" + std::to_string(k),
+                      acc / static_cast<double>(datasets.size()), "%",
+                      obs::Direction::Info);
         std::fflush(stdout);
     }
     std::printf("\n");
@@ -81,6 +90,9 @@ main()
             acc += 100.0 * p.evaluate(ds);
         }
         std::printf(" %6.1f%%", acc / datasets.size());
+        report.metric("accuracy_pct.perceptron.h" + std::to_string(h),
+                      acc / static_cast<double>(datasets.size()), "%",
+                      obs::Direction::Info);
         std::fflush(stdout);
     }
     std::printf("\n");
@@ -89,5 +101,6 @@ main()
                 "buy what a much longer raw sequence buys the LSTM, "
                 "while the\nordered-with-duplicates perceptron curve "
                 "flattens early.\n");
+    report.write();
     return 0;
 }

@@ -54,12 +54,22 @@ main()
 
     std::printf("%-10s %10s %12s %12s %10s\n", "#iters", "LSTM",
                 "OfflineISVM", "Perceptron", "Hawkeye");
+    auto report = bench::makeReport("fig15_convergence");
+    report.config("conv_epochs",
+                  obs::json::Value(static_cast<std::int64_t>(epochs)));
+    const char *models[4] = {"lstm", "isvm", "perceptron", "hawkeye"};
     auto n = static_cast<double>(subset.size());
     for (int e = 0; e <= epochs; ++e) {
         std::printf("%-10d %9.1f%% %11.1f%% %11.1f%% %9.1f%%\n", e,
                     acc[0][e] / n, acc[1][e] / n, acc[2][e] / n,
                     acc[3][e] / n);
+        for (int m = 0; m < 4; ++m) {
+            report.metric("accuracy_pct." + std::string(models[m])
+                              + ".iter" + std::to_string(e),
+                          acc[m][e] / n, "%", obs::Direction::Info);
+        }
     }
+    report.write();
     std::printf("\nShape check (paper): the ISVM is near its final "
                 "accuracy after one pass (why it works online), while "
                 "the LSTM\nunderfits for many iterations — the paper's "

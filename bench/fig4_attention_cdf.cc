@@ -32,6 +32,7 @@ main()
         std::printf(" %6.2f", t);
     std::printf("\n");
 
+    auto report = bench::makeReport("fig4_attention_cdf");
     for (int scale = 1; scale <= 5; ++scale) {
         auto cfg = bench::benchLstmConfig();
         cfg.attention_scale = static_cast<float>(scale);
@@ -39,6 +40,8 @@ main()
         for (int e = 0; e < bench::lstmEpochs(); ++e)
             lstm.trainEpoch(ds);
         double acc = 100.0 * lstm.evaluate(ds);
+        report.metric("accuracy_pct.scale" + std::to_string(scale),
+                      acc, "%", obs::Direction::Info);
 
         Histogram hist(0.0, 1.0, 100);
         for (const auto &rec : lstm.captureAttention(ds, 1024))
@@ -51,6 +54,11 @@ main()
             if (bin >= cdf.size())
                 bin = cdf.size() - 1;
             std::printf(" %6.3f", cdf[bin]);
+            char buf[32];
+            std::snprintf(buf, sizeof buf, "%.2f", t);
+            report.metric("cdf.scale" + std::to_string(scale) + ".at"
+                              + buf,
+                          cdf[bin], "", obs::Direction::Info);
         }
         std::printf("\n");
         std::fflush(stdout);
@@ -59,5 +67,6 @@ main()
                 "scales while the CDF at small thresholds rises with "
                 "the scale\n(more near-zero weights = sparser "
                 "attention), revealing the few influential sources.\n");
+    report.write();
     return 0;
 }

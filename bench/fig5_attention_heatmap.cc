@@ -94,6 +94,7 @@ main()
         if (++counted >= 100)
             break;
     }
+    auto report = bench::makeReport("fig5_attention_heatmap");
     for (std::size_t i = 0; i < window; ++i) {
         double mean = counted ? by_offset[i] / counted : 0.0;
         std::printf("offset %3lld: %.4f %s\n",
@@ -103,8 +104,13 @@ main()
                     std::string(static_cast<std::size_t>(mean * 200),
                                 '*')
                         .c_str());
+        long long off = static_cast<long long>(i)
+            - static_cast<long long>(window);
+        report.metric("mean_attention.offset" + std::to_string(off),
+                      mean, "", obs::Direction::Info);
     }
     std::printf("\nShape check (paper): each target's mass sits on a "
                 "few offsets, and those offsets recur row after row.\n");
+    report.write();
     return 0;
 }

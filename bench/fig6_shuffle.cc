@@ -20,6 +20,7 @@ main()
 
     std::printf("%-10s %10s %10s %8s\n", "Program", "Ordered",
                 "Shuffled", "Delta");
+    auto report = bench::makeReport("fig6_shuffle");
     std::vector<double> ord, shuf;
     for (const auto &name : workloads::offlineSubset()) {
         const auto &trace = bench::buildTrace(name);
@@ -33,12 +34,21 @@ main()
         double s = 100.0 * lstm.evaluateShuffled(ds);
         ord.push_back(o);
         shuf.push_back(s);
+        report.metric("accuracy_pct." + name + ".ordered", o, "%",
+                      obs::Direction::Info);
+        report.metric("accuracy_pct." + name + ".shuffled", s, "%",
+                      obs::Direction::Info);
         std::printf("%-10s %9.1f%% %9.1f%% %+7.1f\n", name.c_str(), o,
                     s, s - o);
         std::fflush(stdout);
     }
     std::printf("%-10s %9.1f%% %9.1f%% %+7.1f\n", "average",
                 amean(ord), amean(shuf), amean(shuf) - amean(ord));
+    report.metric("accuracy_pct.avg.ordered", amean(ord), "%",
+                  obs::Direction::Info);
+    report.metric("accuracy_pct.avg.shuffled", amean(shuf), "%",
+                  obs::Direction::Info);
+    report.write();
     std::printf("\nShape check (paper): shuffling costs only a few "
                 "points — order carries little information beyond "
                 "presence,\nwhich is what licenses the k-sparse "

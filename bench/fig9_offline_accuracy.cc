@@ -87,6 +87,7 @@ main()
     std::printf("%-10s %9s %10s %12s %12s %10s\n", "Program",
                 "Majority", "Hawkeye", "Perceptron", "OfflineISVM",
                 "LSTM");
+    auto report = bench::makeReport("fig9_offline_accuracy");
     std::vector<double> acc_h, acc_p, acc_i, acc_l;
     for (std::size_t i = 0; i < names.size(); ++i) {
         const Row &row = rows[i];
@@ -94,6 +95,16 @@ main()
         acc_p.push_back(row.perceptron);
         acc_i.push_back(row.isvm);
         acc_l.push_back(row.lstm);
+        report.metric("accuracy_pct." + names[i] + ".majority",
+                      row.majority, "%", obs::Direction::Info);
+        report.metric("accuracy_pct." + names[i] + ".hawkeye",
+                      row.hawkeye, "%", obs::Direction::Info);
+        report.metric("accuracy_pct." + names[i] + ".perceptron",
+                      row.perceptron, "%", obs::Direction::Info);
+        report.metric("accuracy_pct." + names[i] + ".isvm", row.isvm,
+                      "%", obs::Direction::Info);
+        report.metric("accuracy_pct." + names[i] + ".lstm", row.lstm,
+                      "%", obs::Direction::Info);
         std::printf("%-10s %8.1f%% %9.1f%% %11.1f%% %11.1f%% %9.1f%%\n",
                     names[i].c_str(), row.majority, row.hawkeye,
                     row.perceptron, row.isvm, row.lstm);
@@ -102,8 +113,17 @@ main()
     std::printf("%-10s %9s %9.1f%% %11.1f%% %11.1f%% %9.1f%%\n",
                 "average", "", amean(acc_h), amean(acc_p), amean(acc_i),
                 amean(acc_l));
+    report.metric("accuracy_pct.avg.hawkeye", amean(acc_h), "%",
+                  obs::Direction::HigherBetter);
+    report.metric("accuracy_pct.avg.perceptron", amean(acc_p), "%",
+                  obs::Direction::HigherBetter);
+    report.metric("accuracy_pct.avg.isvm", amean(acc_i), "%",
+                  obs::Direction::HigherBetter);
+    report.metric("accuracy_pct.avg.lstm", amean(acc_l), "%",
+                  obs::Direction::HigherBetter);
     std::printf("\nShape check (paper): LSTM and offline ISVM are "
                 "within a point or two of each other and clearly above "
                 "Hawkeye\nand the ordered-history Perceptron.\n");
+    report.write();
     return 0;
 }

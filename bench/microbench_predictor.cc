@@ -8,7 +8,11 @@
 
 #include <benchmark/benchmark.h>
 
+#include <map>
+#include <string>
+
 #include "cachesim/cache.hh"
+#include "obs/bench_report.hh"
 #include "core/glider_policy.hh"
 #include "core/glider_predictor.hh"
 #include "opt/belady.hh"
@@ -119,6 +123,76 @@ BM_BeladySimulate(benchmark::State &state)
 }
 BENCHMARK(BM_BeladySimulate);
 
+/**
+ * Console reporter that additionally captures per-benchmark real
+ * time (ns/op) so main() can emit the shared BENCH JSON next to the
+ * normal google-benchmark table.
+ */
+class CapturingReporter : public benchmark::ConsoleReporter
+{
+  public:
+    void
+    ReportRuns(const std::vector<Run> &runs) override
+    {
+        for (const auto &run : runs) {
+            if (run.run_type != Run::RT_Iteration
+                || run.error_occurred)
+                continue;
+            ns_per_op_[run.benchmark_name()] =
+                run.GetAdjustedRealTime();
+        }
+        benchmark::ConsoleReporter::ReportRuns(runs);
+    }
+
+    const std::map<std::string, double> &
+    nsPerOp() const
+    {
+        return ns_per_op_;
+    }
+
+  private:
+    std::map<std::string, double> ns_per_op_;
+};
+
 } // namespace
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    CapturingReporter reporter;
+    benchmark::RunSpecifiedBenchmarks(&reporter);
+    benchmark::Shutdown();
+
+    // Absolute ns/op numbers are machine-dependent (gated only
+    // against collapse); the derived ratios compare two measurements
+    // from the same run and are portable enough for a tighter band.
+    constexpr double kAbsTolerance = 3.0;
+    constexpr double kRatioTolerance = 0.5;
+
+    auto report = obs::BenchReport("microbench_predictor");
+    report.config("metrics_enabled",
+                  obs::json::Value(obs::kMetricsEnabled));
+    const auto &ns = reporter.nsPerOp();
+    for (const auto &[name, ns_op] : ns)
+        report.metric("ns_per_op." + name, ns_op, "ns",
+                      obs::Direction::LowerBetter, kAbsTolerance);
+
+    auto ratio = [&](const char *num, const char *den,
+                     const std::string &metric) {
+        auto n = ns.find(num);
+        auto d = ns.find(den);
+        if (n != ns.end() && d != ns.end() && d->second > 0.0)
+            report.metric(metric, n->second / d->second, "x",
+                          obs::Direction::LowerBetter,
+                          kRatioTolerance);
+    };
+    ratio("BM_LlcAccessGlider", "BM_LlcAccessLru",
+          "relative_cost.glider_vs_lru");
+    ratio("BM_IsvmTrain", "BM_IsvmPredict",
+          "relative_cost.isvm_train_vs_predict");
+    report.write();
+    return 0;
+}

@@ -23,6 +23,7 @@
 
 #include "cachesim/cache.hh"
 #include "core/policy_factory.hh"
+#include "obs/bench_report.hh"
 
 using namespace glider;
 
@@ -181,6 +182,20 @@ main()
     std::printf("%-8s %-10s %14s %14s %9s\n", "Policy", "Stream",
                 "legacy (M/s)", "zero-alloc", "speedup");
 
+    auto report = obs::BenchReport("microbench_simulator");
+    report.config("accesses", obs::json::Value(accesses));
+    report.config("reps",
+                  obs::json::Value(static_cast<std::int64_t>(reps)));
+    report.config("metrics_enabled",
+                  obs::json::Value(obs::kMetricsEnabled));
+
+    // Tolerances are stamped per metric kind: absolute accesses/sec
+    // is machine-dependent, so the committed baseline gates it only
+    // against collapse (300%); the legacy-vs-zero-alloc speedup is a
+    // same-machine ratio and gets a tight band.
+    constexpr double kAbsTolerance = 3.0;
+    constexpr double kRatioTolerance = 0.35;
+
     const std::vector<Stream> streams = {missStream(accesses),
                                          mixedStream(accesses)};
     for (const char *policy : {"LRU", "SRRIP", "SHiP++"}) {
@@ -193,7 +208,18 @@ main()
                         s.name.c_str(), before / 1e6, after / 1e6,
                         after / before);
             std::fflush(stdout);
+            std::string cell = std::string(policy) + "." + s.name;
+            report.metric("throughput." + cell + ".legacy", before,
+                          "accesses/s", obs::Direction::HigherBetter,
+                          kAbsTolerance);
+            report.metric("throughput." + cell + ".zero_alloc", after,
+                          "accesses/s", obs::Direction::HigherBetter,
+                          kAbsTolerance);
+            report.metric("speedup." + cell, after / before, "x",
+                          obs::Direction::HigherBetter,
+                          kRatioTolerance);
         }
     }
+    report.write();
     return 0;
 }

@@ -22,14 +22,30 @@ main()
 
     std::printf("%-14s %10s %8s %10s %10s %10s\n", "Program",
                 "#Accesses", "#PCs", "#Addrs", "Acc/PC", "Acc/Addr");
+    auto report = bench::makeReport("table2_trace_stats");
     for (const auto &name : workloads::offlineSubset()) {
         const auto &cpu = bench::buildTrace(name);
         auto llc = opt::extractLlcStream(cpu);
         auto stats = traces::computeStats(llc);
         std::printf("%s\n", traces::formatStatsRow(stats).c_str());
+        report.metric("trace." + name + ".llc_accesses",
+                      static_cast<double>(stats.accesses), "accesses",
+                      obs::Direction::Info);
+        report.metric("trace." + name + ".unique_pcs",
+                      static_cast<double>(stats.unique_pcs), "",
+                      obs::Direction::Info);
+        report.metric("trace." + name + ".unique_addrs",
+                      static_cast<double>(stats.unique_addrs), "",
+                      obs::Direction::Info);
+        report.metric("trace." + name + ".accesses_per_pc",
+                      stats.accesses_per_pc, "", obs::Direction::Info);
+        report.metric("trace." + name + ".accesses_per_addr",
+                      stats.accesses_per_addr, "",
+                      obs::Direction::Info);
     }
     std::printf("\nShape check: #PCs is orders of magnitude below "
                 "#Addrs, so PC-indexed predictors train quickly\n"
                 "(the paper's rationale for PC features, §4).\n");
+    report.write();
     return 0;
 }

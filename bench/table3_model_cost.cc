@@ -74,5 +74,28 @@ main()
                 "the online models are tens of KB with single-digit "
                 "integer ops (the paper's practicality argument).\n",
                 static_cast<int>(lstm_kb / glider_kb));
+
+    auto report = bench::makeReport("table3_model_cost");
+    report.metric("size_kb.lstm", lstm_kb, "KB", obs::Direction::Info);
+    report.metric("size_kb.glider", glider_kb, "KB",
+                  obs::Direction::Info);
+    report.metric("size_kb.perceptron", perceptron_kb, "KB",
+                  obs::Direction::Info);
+    report.metric("size_kb.hawkeye", hawkeye_kb, "KB",
+                  obs::Direction::Info);
+    report.metric("ops.lstm.train_kops",
+                  static_cast<double>(lstm_train_kops), "Kops",
+                  obs::Direction::Info);
+    report.metric("ops.lstm.test_kops",
+                  static_cast<double>(lstm_test_kops), "Kops",
+                  obs::Direction::Info);
+    report.metric("ops.glider", static_cast<double>(glider_ops), "ops",
+                  obs::Direction::Info);
+    report.metric("ops.perceptron",
+                  static_cast<double>(perceptron_ops), "ops",
+                  obs::Direction::Info);
+    report.metric("ops.hawkeye", static_cast<double>(hawkeye_ops),
+                  "ops", obs::Direction::Info);
+    report.write();
     return 0;
 }

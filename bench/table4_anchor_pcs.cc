@@ -81,9 +81,19 @@ main()
 
     std::printf("%-12s %-12s %14s %16s\n", "Target PC", "Anchor PC",
                 "Hawkeye acc", "Attn-LSTM acc");
+    auto report = bench::makeReport("table4_anchor_pcs");
     const auto &callers = kernel.callerPcs();
     std::int64_t anchor_id = idOf(kernel.anchorPc());
+    unsigned target_no = 0;
     for (const auto &rep : reports) {
+        report.metric("accuracy_pct.target" + std::to_string(target_no)
+                          + ".hawkeye",
+                      hawkeyeAccFor(rep.target_pc), "%",
+                      obs::Direction::Info);
+        report.metric("accuracy_pct.target" + std::to_string(target_no)
+                          + ".lstm",
+                      100.0 * rep.accuracy, "%", obs::Direction::Info);
+        ++target_no;
         std::printf("%-12llx %-12llx %13.1f%% %15.1f%%%s\n",
                     static_cast<unsigned long long>(
                         ds.id_to_pc[rep.target_pc]),
@@ -112,5 +122,6 @@ main()
                 "hidden state already encodes the caller) with the "
                 "caller PCs as\nsecond-ranked sources — see "
                 "EXPERIMENTS.md.\n");
+    report.write();
     return 0;
 }

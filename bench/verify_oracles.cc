@@ -5,9 +5,11 @@
  * For each workload in the suite, extracts the LLC access stream,
  * replays it through the exact Belady oracle and through OPTgen on
  * sampled sets (verify::diffOracles), and emits one JSON document
- * with per-workload and aggregate agreement plus the
- * lowest-agreement PCs. Exits nonzero when the mean agreement falls
- * below the gate, so CI can use it directly.
+ * (built with obs::json, via verify::oracleSuiteJson) with
+ * per-workload and aggregate agreement plus the lowest-agreement PCs.
+ * Also writes the shared BENCH_verify_oracles.json report. Exits
+ * nonzero when the mean agreement falls below the gate, so CI can
+ * use it directly.
  *
  * Knobs (environment):
  *   GLIDER_ACCESSES              CPU trace length (default 2M)
@@ -16,7 +18,6 @@
  *   GLIDER_VERIFY_MIN_AGREEMENT  gate on mean agreement (default 0.95)
  */
 
-#include <cinttypes>
 #include <cstring>
 #include <string>
 #include <vector>
@@ -60,47 +61,6 @@ minAgreement()
     return v ? std::strtod(v, nullptr) : 0.95;
 }
 
-struct WorkloadRow
-{
-    std::string name;
-    std::uint64_t llc_accesses = 0;
-    verify::OracleDiffResult diff;
-};
-
-void
-printRow(const WorkloadRow &row, bool last)
-{
-    const verify::OracleDiffResult &d = row.diff;
-    std::printf("    {\n");
-    std::printf("      \"workload\": \"%s\",\n", row.name.c_str());
-    std::printf("      \"llc_accesses\": %" PRIu64 ",\n",
-                row.llc_accesses);
-    std::printf("      \"sampled_accesses\": %" PRIu64 ",\n",
-                d.sampled_accesses);
-    std::printf("      \"labelled_events\": %" PRIu64 ",\n", d.events);
-    std::printf("      \"agreement\": %.4f,\n", d.agreement());
-    std::printf("      \"belady_hit_rate\": %.4f,\n", d.belady_hit_rate);
-    std::printf("      \"belady_friendly_rate\": %.4f,\n",
-                d.events ? static_cast<double>(d.belady_friendly)
-                        / static_cast<double>(d.events)
-                         : 0.0);
-    std::printf("      \"optgen_friendly_rate\": %.4f,\n",
-                d.events ? static_cast<double>(d.optgen_friendly)
-                        / static_cast<double>(d.events)
-                         : 0.0);
-    std::printf("      \"worst_pcs\": [");
-    auto worst = d.worstPcs(5);
-    for (std::size_t i = 0; i < worst.size(); ++i) {
-        std::printf("%s\n        {\"pc\": \"0x%" PRIx64
-                    "\", \"events\": %" PRIu64
-                    ", \"agreement\": %.4f}",
-                    i ? "," : "", worst[i].pc, worst[i].events,
-                    worst[i].rate());
-    }
-    std::printf("%s]\n", worst.empty() ? "" : "\n      ");
-    std::printf("    }%s\n", last ? "" : ",");
-}
-
 int
 run()
 {
@@ -112,10 +72,10 @@ run()
 
     // LLC-stream extraction and the two oracle replays are
     // independent per workload: fan them across the worker pool.
-    std::vector<WorkloadRow> rows = parallelMap(
+    std::vector<verify::OracleSuiteEntry> rows = parallelMap(
         names, [](const std::string &name) {
-            WorkloadRow row;
-            row.name = name;
+            verify::OracleSuiteEntry row;
+            row.workload = name;
             traces::Trace llc = opt::extractLlcStream(buildTrace(name));
             row.llc_accesses = llc.size();
             row.diff = verify::diffOracles(llc);
@@ -123,29 +83,24 @@ run()
         });
 
     double gate = minAgreement();
-    double sum = 0.0;
-    std::uint64_t total_events = 0, total_agree = 0;
-    for (const auto &row : rows) {
-        sum += row.diff.agreement();
-        total_events += row.diff.events;
-        total_agree += row.diff.agreements;
-    }
-    double mean = sum / static_cast<double>(rows.size());
-    double pooled = total_events
-        ? static_cast<double>(total_agree)
-            / static_cast<double>(total_events)
-        : 1.0;
+    double mean = verify::suiteMeanAgreement(rows);
+    std::printf("%s\n", verify::oracleSuiteJson(rows, gate).dump().c_str());
 
-    std::printf("{\n");
-    std::printf("  \"suite\": [\n");
-    for (std::size_t i = 0; i < rows.size(); ++i)
-        printRow(rows[i], i + 1 == rows.size());
-    std::printf("  ],\n");
-    std::printf("  \"mean_agreement\": %.4f,\n", mean);
-    std::printf("  \"pooled_agreement\": %.4f,\n", pooled);
-    std::printf("  \"gate\": %.4f,\n", gate);
-    std::printf("  \"pass\": %s\n", mean >= gate ? "true" : "false");
-    std::printf("}\n");
+    auto report = makeReport("verify_oracles");
+    report.config("gate", obs::json::Value(gate));
+    report.config("workloads",
+                  obs::json::Value(
+                      static_cast<std::uint64_t>(rows.size())));
+    for (const auto &row : rows)
+        report.metric("agreement." + row.workload,
+                      row.diff.agreement(), "",
+                      obs::Direction::HigherBetter);
+    report.metric("agreement.mean", mean, "",
+                  obs::Direction::HigherBetter);
+    report.metric("agreement.pooled",
+                  verify::suitePooledAgreement(rows), "",
+                  obs::Direction::HigherBetter);
+    report.write();
 
     if (mean < gate) {
         std::fprintf(stderr,

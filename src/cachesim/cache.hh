@@ -13,9 +13,11 @@
 
 #include <cstdint>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "cache_config.hh"
+#include "obs/metrics.hh"
 #include "replacement.hh"
 
 namespace glider {
@@ -66,12 +68,21 @@ class Cache
     const CacheStats &stats() const { return stats_; }
     const CacheConfig &config() const { return config_; }
     ReplacementPolicy &policy() { return *policy_; }
+    const ReplacementPolicy &policy() const { return *policy_; }
 
     /** Clear tags and stats and reset the policy. */
     void reset();
 
     /** Zero the hit/miss counters without disturbing cache state. */
     void clearStats() { stats_ = CacheStats{}; }
+
+    /**
+     * Snapshot stats (and, in GLIDER_METRICS builds, the occupancy-
+     * at-miss histogram) into @p registry under @p prefix. Safe to
+     * call repeatedly; counters are overwritten, not accumulated.
+     */
+    void exportMetrics(obs::Registry &registry,
+                       const std::string &prefix) const;
 
   private:
     std::uint64_t setIndex(std::uint64_t block_addr) const
@@ -85,6 +96,8 @@ class Cache
     unsigned cores_;
     std::vector<LineView> lines_; //!< sets x ways, row-major
     CacheStats stats_;
+    //! Valid lines in the set at each miss; no-op unless GLIDER_METRICS.
+    obs::HotHistogram occ_at_miss_;
 };
 
 } // namespace sim

@@ -10,7 +10,12 @@ namespace sim {
 Hierarchy::Hierarchy(const HierarchyConfig &config, unsigned cores,
                      std::unique_ptr<ReplacementPolicy> llc_policy)
     : config_(config), cores_(cores),
-      llc_core_accesses_(cores, 0), llc_core_misses_(cores, 0)
+      llc_core_accesses_(cores, 0), llc_core_misses_(cores, 0),
+      access_latency_(0.0,
+                      config.l1.latency + config.l2.latency
+                          + config.llc.latency + config.dram_latency
+                          + 1.0,
+                      64)
 {
     GLIDER_ASSERT(cores >= 1);
     for (unsigned c = 0; c < cores; ++c) {
@@ -30,16 +35,22 @@ Hierarchy::access(std::uint8_t core, std::uint64_t pc,
     GLIDER_ASSERT(core < cores_);
     std::uint64_t block = traces::blockAddr(byte_addr);
 
-    if (l1_[core]->access(core, pc, block, is_write))
-        return AccessDepth::L1;
-    if (l2_[core]->access(core, pc, block, is_write))
-        return AccessDepth::L2;
-
-    ++llc_core_accesses_[core];
-    if (llc_->access(core, pc, block, is_write))
-        return AccessDepth::Llc;
-    ++llc_core_misses_[core];
-    return AccessDepth::Dram;
+    AccessDepth depth = AccessDepth::Dram;
+    if (l1_[core]->access(core, pc, block, is_write)) {
+        depth = AccessDepth::L1;
+    } else if (l2_[core]->access(core, pc, block, is_write)) {
+        depth = AccessDepth::L2;
+    } else {
+        ++llc_core_accesses_[core];
+        if (llc_->access(core, pc, block, is_write))
+            depth = AccessDepth::Llc;
+        else
+            ++llc_core_misses_[core];
+    }
+#if defined(GLIDER_METRICS) && GLIDER_METRICS
+    access_latency_.record(static_cast<double>(latency(depth)));
+#endif
+    return depth;
 }
 
 std::uint32_t
@@ -58,6 +69,31 @@ Hierarchy::latency(AccessDepth depth) const
             + config_.llc.latency + config_.dram_latency;
     }
     GLIDER_PANIC("bad AccessDepth");
+}
+
+void
+Hierarchy::exportMetrics(obs::Registry &registry,
+                         const std::string &prefix) const
+{
+    for (unsigned c = 0; c < cores_; ++c) {
+        std::string core = "core" + std::to_string(c);
+        l1_[c]->exportMetrics(registry, prefix + ".l1." + core);
+        l2_[c]->exportMetrics(registry, prefix + ".l2." + core);
+        registry.setCounter(prefix + ".llc." + core + ".accesses",
+                            llc_core_accesses_[c]);
+        registry.setCounter(prefix + ".llc." + core + ".misses",
+                            llc_core_misses_[c]);
+    }
+    llc_->exportMetrics(registry, prefix + ".llc.shared");
+    llc_->policy().exportMetrics(registry, prefix + ".llc.policy");
+#if defined(GLIDER_METRICS) && GLIDER_METRICS
+    if (access_latency_.count() > 0) {
+        obs::Histogram &h = registry.histogram(
+            prefix + ".access_latency_cycles", access_latency_.lo(),
+            access_latency_.hi(), access_latency_.buckets());
+        h.merge(access_latency_);
+    }
+#endif
 }
 
 void

@@ -65,6 +65,15 @@ class Hierarchy
     /** Zero all per-level and per-core counters (cache state kept). */
     void clearStatsCounters();
 
+    /**
+     * Snapshot every level's stats — l1.core<N>/l2.core<N>/llc
+     * subtrees, per-core LLC traffic, the LLC policy's telemetry, and
+     * (in GLIDER_METRICS builds) the access-latency histogram — into
+     * @p registry under @p prefix. Use a fresh registry per export.
+     */
+    void exportMetrics(obs::Registry &registry,
+                       const std::string &prefix) const;
+
   private:
     HierarchyConfig config_;
     unsigned cores_;
@@ -73,6 +82,8 @@ class Hierarchy
     std::unique_ptr<Cache> llc_;
     std::vector<std::uint64_t> llc_core_accesses_;
     std::vector<std::uint64_t> llc_core_misses_;
+    //! Round-trip latency of each access; no-op unless GLIDER_METRICS.
+    obs::HotHistogram access_latency_;
 };
 
 } // namespace sim

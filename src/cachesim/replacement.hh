@@ -14,6 +14,11 @@
 #include <string>
 
 namespace glider {
+
+namespace obs {
+class Registry; // metrics.hh; kept out of the hot-path header
+}
+
 namespace sim {
 
 /** Static shape of the cache a policy is driving. */
@@ -102,6 +107,18 @@ class ReplacementPolicy
     /** The missing line is inserted into @p way. */
     virtual void onInsert(const ReplacementAccess &access,
                           std::uint32_t way) = 0;
+
+    /**
+     * Export policy telemetry (predictor accuracy, training counters,
+     * sampler occupancy, ...) into @p registry under @p prefix.
+     * Off the hot path; the default exports nothing.
+     */
+    virtual void exportMetrics(obs::Registry &registry,
+                               const std::string &prefix) const
+    {
+        (void)registry;
+        (void)prefix;
+    }
 };
 
 } // namespace sim

@@ -1,5 +1,7 @@
 #include "simulator.hh"
 
+#include <chrono>
+
 #include "common/logging.hh"
 
 namespace glider {
@@ -20,6 +22,7 @@ runSingleCore(const traces::Trace &trace,
 
     auto warmup_end = static_cast<std::size_t>(
         opts.warmup_fraction * static_cast<double>(trace.size()));
+    auto start = std::chrono::steady_clock::now();
     for (std::size_t i = 0; i < trace.size(); ++i) {
         const auto &rec = trace[i];
         AccessDepth depth =
@@ -31,6 +34,10 @@ runSingleCore(const traces::Trace &trace,
         }
     }
     core.finish();
+    res.sim_seconds = std::chrono::duration<double>(
+                          std::chrono::steady_clock::now() - start)
+                          .count();
+    res.accesses_simulated = trace.size();
 
     res.instructions = core.instructions();
     res.cycles = core.cycles();

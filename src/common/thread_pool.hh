@@ -10,7 +10,9 @@
 #ifndef GLIDER_COMMON_THREAD_POOL_HH
 #define GLIDER_COMMON_THREAD_POOL_HH
 
+#include <atomic>
 #include <condition_variable>
+#include <cstdint>
 #include <functional>
 #include <future>
 #include <memory>
@@ -69,9 +71,46 @@ class ThreadPool
                 throw std::runtime_error(
                     "ThreadPool::submit after shutdown");
             queue_.emplace([task] { (*task)(); });
+            submitted_.fetch_add(1, std::memory_order_relaxed);
+            std::size_t depth = queue_.size();
+            std::size_t peak =
+                peak_queue_.load(std::memory_order_relaxed);
+            while (depth > peak
+                   && !peak_queue_.compare_exchange_weak(
+                       peak, depth, std::memory_order_relaxed))
+                ;
         }
         cv_.notify_one();
         return fut;
+    }
+
+    /** Tasks ever submitted (telemetry). */
+    std::uint64_t
+    submitted() const
+    {
+        return submitted_.load(std::memory_order_relaxed);
+    }
+
+    /** Tasks that finished running (telemetry). */
+    std::uint64_t
+    completed() const
+    {
+        return completed_.load(std::memory_order_relaxed);
+    }
+
+    /** High-water mark of tasks waiting in the queue (telemetry). */
+    std::size_t
+    peakQueueDepth() const
+    {
+        return peak_queue_.load(std::memory_order_relaxed);
+    }
+
+    /** Tasks currently waiting (not yet picked up by a worker). */
+    std::size_t
+    queueDepth() const
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        return queue_.size();
     }
 
     /**
@@ -118,14 +157,18 @@ class ThreadPool
                 queue_.pop();
             }
             task(); // packaged_task captures any exception
+            completed_.fetch_add(1, std::memory_order_relaxed);
         }
     }
 
-    std::mutex mutex_;
+    mutable std::mutex mutex_;
     std::condition_variable cv_;
     std::queue<std::function<void()>> queue_;
     std::vector<std::thread> workers_;
     bool stopping_ = false;
+    std::atomic<std::uint64_t> submitted_{0};
+    std::atomic<std::uint64_t> completed_{0};
+    std::atomic<std::size_t> peak_queue_{0};
 };
 
 } // namespace glider

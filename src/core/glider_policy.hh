@@ -37,6 +37,15 @@ class GliderPolicy : public policies::OptGuidedPolicy
     /** Read access to the live predictor (for probes and tests). */
     const GliderPredictor &predictor() const { return *predictor_; }
 
+    void
+    exportMetrics(obs::Registry &registry,
+                  const std::string &prefix) const override
+    {
+        policies::OptGuidedPolicy::exportMetrics(registry, prefix);
+        if (predictor_)
+            predictor_->exportMetrics(registry, prefix + ".predictor");
+    }
+
   protected:
     void
     observeAccess(const sim::ReplacementAccess &access) override

@@ -9,9 +9,11 @@
 #define GLIDER_CORE_GLIDER_PREDICTOR_HH
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "isvm.hh"
+#include "obs/metrics.hh"
 #include "pc_history_register.hh"
 
 namespace glider {
@@ -44,9 +46,22 @@ class AdaptiveThreshold
     /** Current training threshold. */
     int current() const { return kCandidates[active_]; }
 
+    /** Times current() changed value across epoch boundaries. */
+    std::uint64_t switches() const { return switches_; }
+
     /** Record one training event's correctness and advance epochs. */
     void
     record(bool prediction_correct)
+    {
+        int before = current();
+        recordImpl(prediction_correct);
+        if (current() != before)
+            ++switches_;
+    }
+
+  private:
+    void
+    recordImpl(bool prediction_correct)
     {
         if (prediction_correct)
             ++correct_;
@@ -71,7 +86,6 @@ class AdaptiveThreshold
         }
     }
 
-  private:
     static constexpr std::uint64_t kTrialEpoch = 512;
     static constexpr std::uint64_t kExploitEpochs = 64;
 
@@ -98,6 +112,7 @@ class AdaptiveThreshold
     std::uint64_t correct_ = 0;
     std::uint64_t exploit_epochs_left_ = 0;
     double accuracy_[5] = {0, 0, 0, 0, 0};
+    std::uint64_t switches_ = 0;
 };
 
 /** Three-level caching prediction (maps to RRPV 0 / 2 / 7). */
@@ -186,9 +201,46 @@ class GliderPredictor
         int threshold = config_.adaptive_threshold
             ? adaptive_.current()
             : config_.fixed_threshold;
-        isvm.train(history, opt_hit, threshold);
+        if (isvm.train(history, opt_hit, threshold))
+            ++train_updates_;
+        else
+            ++train_skips_;
         if (config_.adaptive_threshold)
             adaptive_.record(was_friendly == opt_hit);
+    }
+
+    /** Training events that moved weights / were threshold-skipped. */
+    std::uint64_t trainUpdates() const { return train_updates_; }
+    std::uint64_t trainSkips() const { return train_skips_; }
+
+    const AdaptiveThreshold &adaptive() const { return adaptive_; }
+
+    /**
+     * Export training telemetry — update/skip counters, the live
+     * threshold and its switch count, and the ISVM weight census —
+     * into @p registry under @p prefix. Off the hot path.
+     */
+    void
+    exportMetrics(obs::Registry &registry,
+                  const std::string &prefix) const
+    {
+        registry.setCounter(prefix + ".train_updates", train_updates_);
+        registry.setCounter(prefix + ".train_skips", train_skips_);
+        int threshold = config_.adaptive_threshold
+            ? adaptive_.current()
+            : config_.fixed_threshold;
+        registry.setGauge(prefix + ".threshold.current", threshold);
+        registry.setCounter(prefix + ".threshold.switches",
+                            adaptive_.switches());
+        IsvmTable::WeightStats ws = table_.weightStats();
+        registry.setCounter(prefix + ".isvm.weights_total", ws.total);
+        registry.setCounter(prefix + ".isvm.weights_at_max", ws.at_max);
+        registry.setCounter(prefix + ".isvm.weights_at_min", ws.at_min);
+        registry.setCounter(prefix + ".isvm.weights_zero", ws.zero);
+        registry.setGauge(prefix + ".isvm.saturation_fraction",
+                          ws.saturationFraction());
+        registry.setGauge(prefix + ".storage_bytes",
+                          static_cast<double>(storageBytes()));
     }
 
     const GliderConfig &config() const { return config_; }
@@ -209,6 +261,8 @@ class GliderPredictor
     IsvmTable table_;
     std::vector<PcHistoryRegister> pchr_;
     AdaptiveThreshold adaptive_;
+    std::uint64_t train_updates_ = 0;
+    std::uint64_t train_skips_ = 0;
 };
 
 } // namespace core

@@ -53,15 +53,16 @@ class Isvm
      * toward @p positive by 1, unless the current decision sum is
      * already confidently beyond @p threshold on the correct side
      * (the "do not update when above threshold" rule of §4.4).
+     * @return true if weights moved (the threshold did not skip it).
      */
-    void
+    bool
     train(const opt::PcHistory &history, bool positive, int threshold)
     {
         int sum = predict(history);
         if (positive && sum > threshold)
-            return;
+            return false;
         if (!positive && sum < -threshold)
-            return;
+            return false;
         for (auto pc : history) {
             int &w = weights_[slotOf(pc)];
             w += positive ? 1 : -1;
@@ -70,6 +71,7 @@ class Isvm
             if (w < kWeightMin)
                 w = kWeightMin;
         }
+        return true;
     }
 
     const std::array<int, kWeights> &weights() const { return weights_; }
@@ -107,6 +109,41 @@ class IsvmTable
     storageBytes() const
     {
         return table_.size() * Isvm::kWeights; // 8-bit weights
+    }
+
+    /** Weight-population census (telemetry; full-table scan). */
+    struct WeightStats
+    {
+        std::size_t total = 0;  //!< weights in the table
+        std::size_t at_max = 0; //!< saturated at kWeightMax
+        std::size_t at_min = 0; //!< saturated at kWeightMin
+        std::size_t zero = 0;   //!< still (or back) at zero
+
+        double
+        saturationFraction() const
+        {
+            return total ? static_cast<double>(at_max + at_min)
+                    / static_cast<double>(total)
+                         : 0.0;
+        }
+    };
+
+    WeightStats
+    weightStats() const
+    {
+        WeightStats ws;
+        ws.total = table_.size() * Isvm::kWeights;
+        for (const auto &svm : table_) {
+            for (int w : svm.weights()) {
+                if (w >= Isvm::kWeightMax)
+                    ++ws.at_max;
+                else if (w <= Isvm::kWeightMin)
+                    ++ws.at_min;
+                else if (w == 0)
+                    ++ws.zero;
+            }
+        }
+        return ws;
     }
 
   private:

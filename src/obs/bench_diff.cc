@@ -1,0 +1,173 @@
+#include "bench_diff.hh"
+
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <stdexcept>
+
+namespace glider {
+namespace obs {
+
+namespace {
+
+/** Validate the envelope and return the "metrics" object. */
+const json::Value &
+metricsOf(const json::Value &doc, const char *which)
+{
+    if (!doc.isObject())
+        throw std::runtime_error(std::string(which)
+                                 + ": not a JSON object");
+    const json::Value *schema = doc.find("schema");
+    if (!schema || !schema->isString()
+        || schema->str() != "glider-bench")
+        throw std::runtime_error(std::string(which)
+                                 + ": not a glider-bench document");
+    const json::Value *version = doc.find("schema_version");
+    if (!version || !version->isNumber()
+        || version->integer() != BenchReport::kSchemaVersion)
+        throw std::runtime_error(
+            std::string(which) + ": unsupported schema_version");
+    const json::Value *metrics = doc.find("metrics");
+    if (!metrics || !metrics->isObject())
+        throw std::runtime_error(std::string(which)
+                                 + ": missing metrics object");
+    return *metrics;
+}
+
+Direction
+parseDirection(const json::Value &metric)
+{
+    const json::Value *d = metric.find("direction");
+    if (!d || !d->isString())
+        return Direction::Info;
+    if (d->str() == "higher_better")
+        return Direction::HigherBetter;
+    if (d->str() == "lower_better")
+        return Direction::LowerBetter;
+    return Direction::Info;
+}
+
+double
+metricValue(const json::Value &metric, const std::string &name)
+{
+    const json::Value *v = metric.find("value");
+    if (!v || !v->isNumber())
+        throw std::runtime_error("metric '" + name
+                                 + "' has no numeric value");
+    return v->number();
+}
+
+} // namespace
+
+std::size_t
+DiffResult::regressions() const
+{
+    std::size_t n = 0;
+    for (const auto &d : deltas)
+        n += d.regressed ? 1 : 0;
+    return n;
+}
+
+DiffResult
+diffReports(const json::Value &baseline, const json::Value &current,
+            const DiffOptions &opts)
+{
+    const json::Value &base_metrics = metricsOf(baseline, "baseline");
+    const json::Value &cur_metrics = metricsOf(current, "current");
+
+    const json::Value *base_name = baseline.find("bench");
+    const json::Value *cur_name = current.find("bench");
+    if (base_name && cur_name && base_name->isString()
+        && cur_name->isString() && base_name->str() != cur_name->str())
+        throw std::runtime_error("bench name mismatch: baseline '"
+                                 + base_name->str() + "' vs current '"
+                                 + cur_name->str() + "'");
+
+    DiffResult out;
+    for (const auto &[name, base_metric] : base_metrics.members()) {
+        Direction dir = parseDirection(base_metric);
+        const json::Value *cur_metric = cur_metrics.find(name);
+        if (!cur_metric) {
+            out.missing.push_back(name);
+            if (opts.fail_on_missing && dir != Direction::Info)
+                out.pass = false;
+            continue;
+        }
+
+        MetricDelta d;
+        d.name = name;
+        d.baseline = metricValue(base_metric, name);
+        d.current = metricValue(*cur_metric, name);
+        d.direction = dir;
+        const json::Value *tol = base_metric.find("tolerance");
+        d.tolerance = tol && tol->isNumber() ? tol->number()
+                                             : opts.default_tolerance;
+        if (d.baseline != 0.0)
+            d.change = (d.current - d.baseline) / std::fabs(d.baseline);
+        else
+            d.change = d.current == 0.0 ? 0.0
+                                        : std::numeric_limits<
+                                              double>::infinity();
+        // A zero baseline has no meaningful relative change; report
+        // it but never gate on it.
+        d.gated = dir != Direction::Info && d.baseline != 0.0;
+        if (d.gated) {
+            if (dir == Direction::HigherBetter)
+                d.regressed = d.change < -d.tolerance;
+            else
+                d.regressed = d.change > d.tolerance;
+        }
+        if (d.regressed)
+            out.pass = false;
+        out.deltas.push_back(std::move(d));
+    }
+
+    for (const auto &[name, metric] : cur_metrics.members()) {
+        (void)metric;
+        if (!base_metrics.find(name))
+            out.added.push_back(name);
+    }
+    return out;
+}
+
+std::string
+formatDiff(const DiffResult &result)
+{
+    std::string out;
+    char line[256];
+    std::snprintf(line, sizeof(line), "%-52s %14s %14s %9s %7s  %s\n",
+                  "metric", "baseline", "current", "change", "tol",
+                  "verdict");
+    out += line;
+    for (const auto &d : result.deltas) {
+        const char *verdict = d.regressed
+            ? "REGRESSED"
+            : (d.gated ? "ok" : "info");
+        std::snprintf(line, sizeof(line),
+                      "%-52s %14.4g %14.4g %+8.1f%% %6.0f%%  %s\n",
+                      d.name.c_str(), d.baseline, d.current,
+                      100.0 * d.change, 100.0 * d.tolerance, verdict);
+        out += line;
+    }
+    for (const auto &name : result.missing) {
+        std::snprintf(line, sizeof(line),
+                      "%-52s missing from current run\n", name.c_str());
+        out += line;
+    }
+    for (const auto &name : result.added) {
+        std::snprintf(line, sizeof(line),
+                      "%-52s new (not in baseline)\n", name.c_str());
+        out += line;
+    }
+    std::snprintf(line, sizeof(line),
+                  "%zu metric(s) compared, %zu regression(s), "
+                  "%zu missing -> %s\n",
+                  result.deltas.size(), result.regressions(),
+                  result.missing.size(),
+                  result.pass ? "PASS" : "FAIL");
+    out += line;
+    return out;
+}
+
+} // namespace obs
+} // namespace glider

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Comparator for two BENCH_*.json documents (see bench_report.hh):
+ * per-metric deltas with per-metric or global failure tolerances.
+ * The CI perf-regression gate is `tools/bench_diff baseline current`;
+ * this header is the library half so tests can inject regressions
+ * and assert the verdict directly.
+ */
+
+#ifndef GLIDER_OBS_BENCH_DIFF_HH
+#define GLIDER_OBS_BENCH_DIFF_HH
+
+#include <string>
+#include <vector>
+
+#include "bench_report.hh"
+#include "json.hh"
+
+namespace glider {
+namespace obs {
+
+/** Comparator knobs. */
+struct DiffOptions
+{
+    /** Allowed relative change for metrics without their own. */
+    double default_tolerance = 0.10;
+    /** A gated baseline metric missing from current fails the diff. */
+    bool fail_on_missing = true;
+};
+
+/** One metric's comparison. */
+struct MetricDelta
+{
+    std::string name;
+    double baseline = 0.0;
+    double current = 0.0;
+    double change = 0.0; //!< (current - baseline) / |baseline|
+    double tolerance = 0.0;
+    Direction direction = Direction::Info;
+    bool gated = false;     //!< direction != Info and baseline != 0
+    bool regressed = false; //!< beyond tolerance in the bad direction
+};
+
+/** Full comparison of two bench documents. */
+struct DiffResult
+{
+    std::vector<MetricDelta> deltas;
+    std::vector<std::string> missing; //!< in baseline, not in current
+    std::vector<std::string> added;   //!< in current, not in baseline
+    bool pass = true;
+
+    std::size_t regressions() const;
+};
+
+/**
+ * Compare two parsed bench documents.
+ * @throws std::runtime_error if either document is not a
+ * glider-bench schema-version-1 report or the bench names differ.
+ */
+DiffResult diffReports(const json::Value &baseline,
+                       const json::Value &current,
+                       const DiffOptions &opts = DiffOptions());
+
+/** Human-readable table of a DiffResult for CLI / log output. */
+std::string formatDiff(const DiffResult &result);
+
+} // namespace obs
+} // namespace glider
+
+#endif // GLIDER_OBS_BENCH_DIFF_HH

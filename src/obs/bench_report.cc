@@ -1,0 +1,112 @@
+#include "bench_report.hh"
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <utility>
+
+#include "common/logging.hh"
+
+namespace glider {
+namespace obs {
+
+const char *
+directionName(Direction d)
+{
+    switch (d) {
+      case Direction::HigherBetter:
+        return "higher_better";
+      case Direction::LowerBetter:
+        return "lower_better";
+      case Direction::Info:
+        break;
+    }
+    return "info";
+}
+
+BenchReport::BenchReport(std::string name) : name_(std::move(name)) {}
+
+void
+BenchReport::config(const std::string &key, json::Value value)
+{
+    config_[key] = std::move(value);
+}
+
+void
+BenchReport::metric(const std::string &name, double value,
+                    const std::string &unit, Direction direction,
+                    double tolerance)
+{
+    json::Value m = json::Value::object();
+    m["value"] = value;
+    if (!unit.empty())
+        m["unit"] = unit;
+    m["direction"] = directionName(direction);
+    if (tolerance >= 0.0)
+        m["tolerance"] = tolerance;
+    metrics_[name] = std::move(m);
+}
+
+void
+BenchReport::attach(const std::string &key, json::Value value)
+{
+    extra_[key] = std::move(value);
+}
+
+void
+BenchReport::attachRegistry(const std::string &key, const Registry &reg)
+{
+    extra_[key] = reg.toJson();
+}
+
+json::Value
+BenchReport::toJson() const
+{
+    json::Value out = json::Value::object();
+    out["schema"] = "glider-bench";
+    out["schema_version"] = kSchemaVersion;
+    out["bench"] = name_;
+    out["config"] = config_;
+    out["metrics"] = metrics_;
+    if (extra_.size() > 0)
+        out["extra"] = extra_;
+    return out;
+}
+
+std::string
+BenchReport::outputDir()
+{
+    const char *dir = std::getenv("GLIDER_BENCH_DIR");
+    return dir && *dir ? dir : ".";
+}
+
+std::string
+BenchReport::write() const
+{
+    const char *flag = std::getenv("GLIDER_BENCH_JSON");
+    if (flag && std::string(flag) == "0")
+        return "";
+    std::string dir = outputDir();
+    std::error_code ec;
+    std::filesystem::create_directories(dir, ec); // best effort
+    std::string path = dir + "/BENCH_" + name_ + ".json";
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (!f) {
+        GLIDER_WARN("BenchReport: cannot open " + path
+                    + " for writing");
+        return "";
+    }
+    std::string doc = toJson().dump();
+    doc += '\n';
+    std::size_t n = std::fwrite(doc.data(), 1, doc.size(), f);
+    bool closed = std::fclose(f) == 0;
+    if (n != doc.size() || !closed) {
+        GLIDER_WARN("BenchReport: short write to " + path);
+        return "";
+    }
+    std::printf("[bench json] wrote %s\n", path.c_str());
+    return path;
+}
+
+} // namespace obs
+} // namespace glider

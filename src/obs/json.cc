@@ -1,0 +1,554 @@
+#include "json.hh"
+
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+
+namespace glider {
+namespace obs {
+namespace json {
+
+namespace {
+
+[[noreturn]] void
+typeError(const char *want, Value::Kind got)
+{
+    static const char *names[] = {"null",   "bool",  "int",   "double",
+                                  "string", "array", "object"};
+    throw std::runtime_error(std::string("json: expected ") + want
+                             + ", have "
+                             + names[static_cast<int>(got)]);
+}
+
+/** Shortest round-trippable representation of a finite double. */
+std::string
+formatDouble(double d)
+{
+    if (!std::isfinite(d)) {
+        // JSON has no inf/nan; serialize as null per common practice.
+        return "null";
+    }
+    char buf[32];
+    auto res = std::to_chars(buf, buf + sizeof(buf), d);
+    std::string s(buf, res.ptr);
+    // Keep a decimal point or exponent so the value parses back as a
+    // Double, not an Int.
+    if (s.find_first_of(".eE") == std::string::npos)
+        s += ".0";
+    return s;
+}
+
+} // namespace
+
+bool
+Value::boolean() const
+{
+    if (kind_ != Kind::Bool)
+        typeError("bool", kind_);
+    return bool_;
+}
+
+std::int64_t
+Value::integer() const
+{
+    if (kind_ != Kind::Int)
+        typeError("int", kind_);
+    return int_;
+}
+
+double
+Value::number() const
+{
+    if (kind_ == Kind::Int)
+        return static_cast<double>(int_);
+    if (kind_ != Kind::Double)
+        typeError("number", kind_);
+    return double_;
+}
+
+const std::string &
+Value::str() const
+{
+    if (kind_ != Kind::String)
+        typeError("string", kind_);
+    return string_;
+}
+
+void
+Value::push(Value v)
+{
+    if (kind_ != Kind::Array)
+        typeError("array", kind_);
+    array_.push_back(std::move(v));
+}
+
+std::size_t
+Value::size() const
+{
+    if (kind_ == Kind::Array)
+        return array_.size();
+    if (kind_ == Kind::Object)
+        return object_.size();
+    typeError("array or object", kind_);
+}
+
+const Value &
+Value::at(std::size_t i) const
+{
+    if (kind_ != Kind::Array)
+        typeError("array", kind_);
+    if (i >= array_.size())
+        throw std::runtime_error("json: array index out of range");
+    return array_[i];
+}
+
+Value &
+Value::operator[](const std::string &key)
+{
+    if (kind_ != Kind::Object)
+        typeError("object", kind_);
+    for (auto &[k, v] : object_) {
+        if (k == key)
+            return v;
+    }
+    object_.emplace_back(key, Value());
+    return object_.back().second;
+}
+
+const Value *
+Value::find(const std::string &key) const
+{
+    if (kind_ != Kind::Object)
+        typeError("object", kind_);
+    for (const auto &[k, v] : object_) {
+        if (k == key)
+            return &v;
+    }
+    return nullptr;
+}
+
+const std::vector<std::pair<std::string, Value>> &
+Value::members() const
+{
+    if (kind_ != Kind::Object)
+        typeError("object", kind_);
+    return object_;
+}
+
+bool
+Value::operator==(const Value &other) const
+{
+    if (kind_ != other.kind_)
+        return false;
+    switch (kind_) {
+      case Kind::Null:
+        return true;
+      case Kind::Bool:
+        return bool_ == other.bool_;
+      case Kind::Int:
+        return int_ == other.int_;
+      case Kind::Double:
+        return double_ == other.double_;
+      case Kind::String:
+        return string_ == other.string_;
+      case Kind::Array:
+        return array_ == other.array_;
+      case Kind::Object:
+        return object_ == other.object_;
+    }
+    return false;
+}
+
+std::string
+escape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size() + 2);
+    for (unsigned char c : s) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\b':
+            out += "\\b";
+            break;
+          case '\f':
+            out += "\\f";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\r':
+            out += "\\r";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          default:
+            if (c < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += static_cast<char>(c);
+            }
+        }
+    }
+    return out;
+}
+
+void
+Value::dumpTo(std::string &out, int indent, int depth) const
+{
+    auto newline = [&](int d) {
+        if (indent <= 0)
+            return;
+        out += '\n';
+        out.append(static_cast<std::size_t>(indent * d), ' ');
+    };
+    switch (kind_) {
+      case Kind::Null:
+        out += "null";
+        return;
+      case Kind::Bool:
+        out += bool_ ? "true" : "false";
+        return;
+      case Kind::Int: {
+        char buf[24];
+        auto res = std::to_chars(buf, buf + sizeof(buf), int_);
+        out.append(buf, res.ptr);
+        return;
+      }
+      case Kind::Double:
+        out += formatDouble(double_);
+        return;
+      case Kind::String:
+        out += '"';
+        out += escape(string_);
+        out += '"';
+        return;
+      case Kind::Array:
+        if (array_.empty()) {
+            out += "[]";
+            return;
+        }
+        out += '[';
+        for (std::size_t i = 0; i < array_.size(); ++i) {
+            if (i)
+                out += ',';
+            newline(depth + 1);
+            array_[i].dumpTo(out, indent, depth + 1);
+        }
+        newline(depth);
+        out += ']';
+        return;
+      case Kind::Object:
+        if (object_.empty()) {
+            out += "{}";
+            return;
+        }
+        out += '{';
+        for (std::size_t i = 0; i < object_.size(); ++i) {
+            if (i)
+                out += ',';
+            newline(depth + 1);
+            out += '"';
+            out += escape(object_[i].first);
+            out += "\":";
+            if (indent > 0)
+                out += ' ';
+            object_[i].second.dumpTo(out, indent, depth + 1);
+        }
+        newline(depth);
+        out += '}';
+        return;
+    }
+}
+
+std::string
+Value::dump(int indent) const
+{
+    std::string out;
+    dumpTo(out, indent, 0);
+    return out;
+}
+
+namespace {
+
+/** Recursive-descent parser over a string view of the document. */
+class Parser
+{
+  public:
+    explicit Parser(const std::string &text) : text_(text) {}
+
+    Value
+    document()
+    {
+        Value v = value();
+        skipWs();
+        if (pos_ != text_.size())
+            fail("trailing characters after document");
+        return v;
+    }
+
+  private:
+    [[noreturn]] void
+    fail(const std::string &what) const
+    {
+        throw std::runtime_error("json parse error at offset "
+                                 + std::to_string(pos_) + ": " + what);
+    }
+
+    void
+    skipWs()
+    {
+        while (pos_ < text_.size()
+               && (text_[pos_] == ' ' || text_[pos_] == '\t'
+                   || text_[pos_] == '\n' || text_[pos_] == '\r'))
+            ++pos_;
+    }
+
+    char
+    peek()
+    {
+        if (pos_ >= text_.size())
+            fail("unexpected end of input");
+        return text_[pos_];
+    }
+
+    void
+    expect(char c)
+    {
+        if (peek() != c)
+            fail(std::string("expected '") + c + "'");
+        ++pos_;
+    }
+
+    bool
+    consume(const char *lit)
+    {
+        std::size_t n = std::char_traits<char>::length(lit);
+        if (text_.compare(pos_, n, lit) != 0)
+            return false;
+        pos_ += n;
+        return true;
+    }
+
+    Value
+    value()
+    {
+        skipWs();
+        char c = peek();
+        switch (c) {
+          case '{':
+            return object();
+          case '[':
+            return array();
+          case '"':
+            return Value(string());
+          case 't':
+            if (!consume("true"))
+                fail("bad literal");
+            return Value(true);
+          case 'f':
+            if (!consume("false"))
+                fail("bad literal");
+            return Value(false);
+          case 'n':
+            if (!consume("null"))
+                fail("bad literal");
+            return Value();
+          default:
+            return numberValue();
+        }
+    }
+
+    Value
+    object()
+    {
+        expect('{');
+        Value out = Value::object();
+        skipWs();
+        if (peek() == '}') {
+            ++pos_;
+            return out;
+        }
+        for (;;) {
+            skipWs();
+            std::string key = string();
+            skipWs();
+            expect(':');
+            out[key] = value();
+            skipWs();
+            char c = peek();
+            ++pos_;
+            if (c == '}')
+                return out;
+            if (c != ',')
+                fail("expected ',' or '}' in object");
+        }
+    }
+
+    Value
+    array()
+    {
+        expect('[');
+        Value out = Value::array();
+        skipWs();
+        if (peek() == ']') {
+            ++pos_;
+            return out;
+        }
+        for (;;) {
+            out.push(value());
+            skipWs();
+            char c = peek();
+            ++pos_;
+            if (c == ']')
+                return out;
+            if (c != ',')
+                fail("expected ',' or ']' in array");
+        }
+    }
+
+    std::string
+    string()
+    {
+        expect('"');
+        std::string out;
+        for (;;) {
+            if (pos_ >= text_.size())
+                fail("unterminated string");
+            char c = text_[pos_++];
+            if (c == '"')
+                return out;
+            if (static_cast<unsigned char>(c) < 0x20)
+                fail("raw control character in string");
+            if (c != '\\') {
+                out += c;
+                continue;
+            }
+            if (pos_ >= text_.size())
+                fail("unterminated escape");
+            char e = text_[pos_++];
+            switch (e) {
+              case '"':
+                out += '"';
+                break;
+              case '\\':
+                out += '\\';
+                break;
+              case '/':
+                out += '/';
+                break;
+              case 'b':
+                out += '\b';
+                break;
+              case 'f':
+                out += '\f';
+                break;
+              case 'n':
+                out += '\n';
+                break;
+              case 'r':
+                out += '\r';
+                break;
+              case 't':
+                out += '\t';
+                break;
+              case 'u': {
+                if (pos_ + 4 > text_.size())
+                    fail("truncated \\u escape");
+                unsigned code = 0;
+                for (int i = 0; i < 4; ++i) {
+                    char h = text_[pos_++];
+                    code <<= 4;
+                    if (h >= '0' && h <= '9')
+                        code |= static_cast<unsigned>(h - '0');
+                    else if (h >= 'a' && h <= 'f')
+                        code |= static_cast<unsigned>(h - 'a' + 10);
+                    else if (h >= 'A' && h <= 'F')
+                        code |= static_cast<unsigned>(h - 'A' + 10);
+                    else
+                        fail("bad hex digit in \\u escape");
+                }
+                // UTF-8 encode the code point (BMP only; surrogate
+                // pairs are not produced by our own serializer).
+                if (code < 0x80) {
+                    out += static_cast<char>(code);
+                } else if (code < 0x800) {
+                    out += static_cast<char>(0xC0 | (code >> 6));
+                    out += static_cast<char>(0x80 | (code & 0x3F));
+                } else {
+                    out += static_cast<char>(0xE0 | (code >> 12));
+                    out += static_cast<char>(0x80
+                                             | ((code >> 6) & 0x3F));
+                    out += static_cast<char>(0x80 | (code & 0x3F));
+                }
+                break;
+              }
+              default:
+                fail("bad escape character");
+            }
+        }
+    }
+
+    Value
+    numberValue()
+    {
+        std::size_t start = pos_;
+        if (peek() == '-')
+            ++pos_;
+        bool is_double = false;
+        while (pos_ < text_.size()) {
+            char c = text_[pos_];
+            if (c >= '0' && c <= '9') {
+                ++pos_;
+            } else if (c == '.' || c == 'e' || c == 'E' || c == '+'
+                       || c == '-') {
+                is_double = is_double || c == '.' || c == 'e'
+                    || c == 'E';
+                ++pos_;
+            } else {
+                break;
+            }
+        }
+        if (pos_ == start || (pos_ == start + 1 && text_[start] == '-'))
+            fail("bad number");
+        std::string tok = text_.substr(start, pos_ - start);
+        if (!is_double) {
+            std::int64_t i = 0;
+            auto res = std::from_chars(tok.data(),
+                                       tok.data() + tok.size(), i);
+            if (res.ec == std::errc()
+                && res.ptr == tok.data() + tok.size())
+                return Value(i);
+            // Out-of-range integer: fall through to double.
+        }
+        char *end = nullptr;
+        double d = std::strtod(tok.c_str(), &end);
+        if (end != tok.c_str() + tok.size())
+            fail("bad number");
+        return Value(d);
+    }
+
+    const std::string &text_;
+    std::size_t pos_ = 0;
+};
+
+} // namespace
+
+Value
+Value::parse(const std::string &text)
+{
+    return Parser(text).document();
+}
+
+} // namespace json
+} // namespace obs
+} // namespace glider

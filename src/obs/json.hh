@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Minimal JSON document model shared by the metrics registry, the
+ * bench-report writer, and tools/bench_diff: an ordered tree of
+ * values with a serializer (correct string escaping, round-trippable
+ * numbers) and a strict recursive-descent parser. No external
+ * dependency; this is the one place in the repo that builds or reads
+ * JSON, replacing the hand-concatenated printf JSON the benches used
+ * to emit.
+ */
+
+#ifndef GLIDER_OBS_JSON_HH
+#define GLIDER_OBS_JSON_HH
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace glider {
+namespace obs {
+namespace json {
+
+/**
+ * One JSON value. Objects preserve insertion order so serialized
+ * reports read in the order they were built (lookup is linear, which
+ * is fine for report-sized documents).
+ */
+class Value
+{
+  public:
+    enum class Kind { Null, Bool, Int, Double, String, Array, Object };
+
+    Value() : kind_(Kind::Null) {}
+    Value(bool b) : kind_(Kind::Bool), bool_(b) {}
+    Value(int i) : kind_(Kind::Int), int_(i) {}
+    Value(std::int64_t i) : kind_(Kind::Int), int_(i) {}
+    Value(std::uint64_t i)
+        : kind_(Kind::Int), int_(static_cast<std::int64_t>(i))
+    {
+    }
+    Value(double d) : kind_(Kind::Double), double_(d) {}
+    Value(std::string s) : kind_(Kind::String), string_(std::move(s)) {}
+    Value(const char *s) : kind_(Kind::String), string_(s) {}
+
+    static Value array() { return Value(Kind::Array); }
+    static Value object() { return Value(Kind::Object); }
+
+    Kind kind() const { return kind_; }
+    bool isNull() const { return kind_ == Kind::Null; }
+    bool isNumber() const
+    {
+        return kind_ == Kind::Int || kind_ == Kind::Double;
+    }
+    bool isString() const { return kind_ == Kind::String; }
+    bool isArray() const { return kind_ == Kind::Array; }
+    bool isObject() const { return kind_ == Kind::Object; }
+
+    /** Typed accessors; throw std::runtime_error on kind mismatch. */
+    bool boolean() const;
+    std::int64_t integer() const;
+    double number() const; //!< Int or Double, widened to double
+    const std::string &str() const;
+
+    /** Array element access/append. */
+    void push(Value v);
+    std::size_t size() const; //!< array elements or object members
+    const Value &at(std::size_t i) const;
+
+    /** Object member access: inserts a Null member when absent. */
+    Value &operator[](const std::string &key);
+    /** Object member lookup; nullptr when absent. */
+    const Value *find(const std::string &key) const;
+    const std::vector<std::pair<std::string, Value>> &members() const;
+
+    /** Deep structural equality (Int and Double never compare equal). */
+    bool operator==(const Value &other) const;
+    bool operator!=(const Value &other) const
+    {
+        return !(*this == other);
+    }
+
+    /** Serialize; indent > 0 pretty-prints with that many spaces. */
+    std::string dump(int indent = 2) const;
+
+    /**
+     * Parse a complete JSON document (trailing garbage rejected).
+     * @throws std::runtime_error with offset context on bad input.
+     */
+    static Value parse(const std::string &text);
+
+  private:
+    explicit Value(Kind kind) : kind_(kind) {}
+
+    void dumpTo(std::string &out, int indent, int depth) const;
+
+    Kind kind_;
+    bool bool_ = false;
+    std::int64_t int_ = 0;
+    double double_ = 0.0;
+    std::string string_;
+    std::vector<Value> array_;
+    std::vector<std::pair<std::string, Value>> object_;
+};
+
+/** JSON string escaping ("\"" -> "\\\"", control chars -> \uXXXX). */
+std::string escape(const std::string &s);
+
+} // namespace json
+} // namespace obs
+} // namespace glider
+
+#endif // GLIDER_OBS_JSON_HH

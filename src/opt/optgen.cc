@@ -50,6 +50,7 @@ OptGenSet::access(std::uint64_t block, std::uint64_t pc,
                 ev.prediction_valid = e.prediction_valid;
                 expired_.push_back(std::move(ev));
                 e.valid = false;
+                ++stats_.expired_negatives;
             }
         }
         base_time_ = new_base;
@@ -84,6 +85,9 @@ OptGenSet::access(std::uint64_t block, std::uint64_t pc,
         if (fits) {
             for (std::uint64_t t = entry->last_time; t < now; ++t)
                 ++occupancyAt(t);
+            ++stats_.hit_intervals;
+        } else {
+            ++stats_.miss_intervals;
         }
         TrainingEvent ev;
         ev.opt_hit = fits;
@@ -109,6 +113,7 @@ OptGenSet::access(std::uint64_t block, std::uint64_t pc,
             ev.predicted_friendly = oldest->predicted_friendly;
             ev.prediction_valid = oldest->prediction_valid;
             expired_.push_back(std::move(ev));
+            ++stats_.capacity_evictions;
             entry = oldest;
         }
     }
@@ -122,6 +127,20 @@ OptGenSet::access(std::uint64_t block, std::uint64_t pc,
     entry->prediction_valid = prediction_valid;
     entry->valid = true;
     return result;
+}
+
+double
+OptGenSet::occupancyUtilization() const
+{
+    if (clock_ == 0)
+        return 0.0;
+    std::uint64_t quanta = std::min<std::uint64_t>(
+        clock_, static_cast<std::uint64_t>(history_quanta_));
+    std::uint64_t total = 0;
+    for (std::uint64_t t = clock_ - quanta; t < clock_; ++t)
+        total += occupancy_[t % history_quanta_];
+    return static_cast<double>(total)
+        / (static_cast<double>(quanta) * static_cast<double>(ways_));
 }
 
 std::optional<TrainingEvent>
@@ -175,6 +194,30 @@ OptGenSampler::access(std::uint64_t set, std::uint64_t block,
     return sampled_[static_cast<std::size_t>(sample_index_[set])]
         .access(block, pc, core, history, predicted_friendly,
                 prediction_valid);
+}
+
+OptGenSet::Stats
+OptGenSampler::stats() const
+{
+    OptGenSet::Stats total;
+    for (const auto &s : sampled_) {
+        total.hit_intervals += s.stats().hit_intervals;
+        total.miss_intervals += s.stats().miss_intervals;
+        total.expired_negatives += s.stats().expired_negatives;
+        total.capacity_evictions += s.stats().capacity_evictions;
+    }
+    return total;
+}
+
+double
+OptGenSampler::occupancyUtilization() const
+{
+    if (sampled_.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (const auto &s : sampled_)
+        sum += s.occupancyUtilization();
+    return sum / static_cast<double>(sampled_.size());
 }
 
 std::optional<TrainingEvent>

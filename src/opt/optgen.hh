@@ -42,6 +42,15 @@ struct TrainingEvent
 class OptGenSet
 {
   public:
+    /** Label and churn telemetry, accumulated since construction. */
+    struct Stats
+    {
+        std::uint64_t hit_intervals = 0;  //!< closed intervals OPT kept
+        std::uint64_t miss_intervals = 0; //!< closed intervals OPT shed
+        std::uint64_t expired_negatives = 0;  //!< aged out of window
+        std::uint64_t capacity_evictions = 0; //!< sampler slot stolen
+    };
+
     /**
      * @param ways Modelled associativity (OPT capacity per quantum).
      * @param history_quanta Sliding-window length; the Hawkeye
@@ -76,6 +85,15 @@ class OptGenSet
 
     std::uint64_t clock() const { return clock_; }
 
+    const Stats &stats() const { return stats_; }
+
+    /**
+     * Mean occupancy of the sliding window's quanta as a fraction of
+     * OPT capacity (0 when no access has been seen). An on-demand
+     * scan; not part of the access hot path.
+     */
+    double occupancyUtilization() const;
+
   private:
     struct Entry
     {
@@ -100,6 +118,7 @@ class OptGenSet
     std::vector<std::uint8_t> occupancy_; //!< ring of history_quanta_
     std::vector<Entry> entries_;
     std::vector<TrainingEvent> expired_;
+    Stats stats_;
 };
 
 /**
@@ -135,6 +154,14 @@ class OptGenSampler
 
     /** Drain expired-entry negative events across all sampled sets. */
     std::optional<TrainingEvent> popExpired();
+
+    std::size_t sampledSets() const { return sampled_.size(); }
+
+    /** Sum of per-set label/churn counters across all sampled sets. */
+    OptGenSet::Stats stats() const;
+
+    /** Mean of per-set occupancyUtilization over sampled sets. */
+    double occupancyUtilization() const;
 
   private:
     std::uint64_t sets_;

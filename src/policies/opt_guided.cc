@@ -1,6 +1,7 @@
 #include "opt_guided.hh"
 
 #include "common/logging.hh"
+#include "obs/metrics.hh"
 
 namespace glider {
 namespace policies {
@@ -144,6 +145,34 @@ OptGuidedPolicy::onInsert(const sim::ReplacementAccess &access,
 void
 OptGuidedPolicy::onFriendlyEviction(std::uint64_t, std::uint8_t)
 {
+}
+
+void
+OptGuidedPolicy::exportMetrics(obs::Registry &registry,
+                               const std::string &prefix) const
+{
+    registry.setCounter(prefix + ".accuracy.events", accuracy_.events);
+    registry.setCounter(prefix + ".accuracy.correct",
+                        accuracy_.correct);
+    registry.setGauge(prefix + ".accuracy.online",
+                      accuracy_.accuracy());
+    registry.setCounter(prefix + ".tracked_pcs",
+                        per_pc_accuracy_.size());
+    if (sampler_) {
+        opt::OptGenSet::Stats s = sampler_->stats();
+        registry.setCounter(prefix + ".optgen.sampled_sets",
+                            sampler_->sampledSets());
+        registry.setCounter(prefix + ".optgen.hit_intervals",
+                            s.hit_intervals);
+        registry.setCounter(prefix + ".optgen.miss_intervals",
+                            s.miss_intervals);
+        registry.setCounter(prefix + ".optgen.expired_negatives",
+                            s.expired_negatives);
+        registry.setCounter(prefix + ".optgen.capacity_evictions",
+                            s.capacity_evictions);
+        registry.setGauge(prefix + ".optgen.occupancy_utilization",
+                          sampler_->occupancyUtilization());
+    }
 }
 
 } // namespace policies

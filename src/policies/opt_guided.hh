@@ -73,6 +73,14 @@ class OptGuidedPolicy : public sim::ReplacementPolicy
         return per_pc_accuracy_;
     }
 
+    /**
+     * Export framework telemetry — online accuracy, tracked-PC count,
+     * and the OPTgen sampler's label/occupancy stats — under
+     * @p prefix. Subclass overrides should call this base first.
+     */
+    void exportMetrics(obs::Registry &registry,
+                       const std::string &prefix) const override;
+
   protected:
     /** Predict the caching priority of @p access. */
     virtual Pred predictAccess(const sim::ReplacementAccess &access) = 0;

@@ -52,6 +52,14 @@ class CheckedPolicy : public sim::ReplacementPolicy
     /** Forwarded so experiment tables are unchanged by wrapping. */
     std::string name() const override { return inner_->name(); }
 
+    /** Forwarded so telemetry is unchanged by wrapping. */
+    void
+    exportMetrics(obs::Registry &registry,
+                  const std::string &prefix) const override
+    {
+        inner_->exportMetrics(registry, prefix);
+    }
+
     void reset(const sim::CacheGeometry &geom) override;
     std::uint32_t victimWay(const sim::ReplacementAccess &access,
                             sim::SetView lines) override;

@@ -1,6 +1,7 @@
 #include "oracle_diff.hh"
 
 #include <algorithm>
+#include <cstdio>
 #include <numeric>
 
 #include "common/hash.hh"
@@ -119,6 +120,79 @@ diffOracles(const traces::Trace &llc_stream,
         last_index[block] = i;
     }
     return res;
+}
+
+double
+suiteMeanAgreement(const std::vector<OracleSuiteEntry> &suite)
+{
+    if (suite.empty())
+        return 1.0;
+    double sum = 0.0;
+    for (const auto &entry : suite)
+        sum += entry.diff.agreement();
+    return sum / static_cast<double>(suite.size());
+}
+
+double
+suitePooledAgreement(const std::vector<OracleSuiteEntry> &suite)
+{
+    std::uint64_t events = 0, agree = 0;
+    for (const auto &entry : suite) {
+        events += entry.diff.events;
+        agree += entry.diff.agreements;
+    }
+    return events ? static_cast<double>(agree)
+            / static_cast<double>(events)
+                  : 1.0;
+}
+
+obs::json::Value
+oracleSuiteJson(const std::vector<OracleSuiteEntry> &suite, double gate)
+{
+    auto rate = [](std::uint64_t num, std::uint64_t den) {
+        return den
+            ? static_cast<double>(num) / static_cast<double>(den)
+            : 0.0;
+    };
+
+    auto rows = obs::json::Value::array();
+    for (const auto &entry : suite) {
+        const OracleDiffResult &d = entry.diff;
+        auto row = obs::json::Value::object();
+        row["workload"] = obs::json::Value(entry.workload);
+        row["llc_accesses"] = obs::json::Value(entry.llc_accesses);
+        row["sampled_accesses"] = obs::json::Value(d.sampled_accesses);
+        row["labelled_events"] = obs::json::Value(d.events);
+        row["agreement"] = obs::json::Value(d.agreement());
+        row["belady_hit_rate"] = obs::json::Value(d.belady_hit_rate);
+        row["belady_friendly_rate"] =
+            obs::json::Value(rate(d.belady_friendly, d.events));
+        row["optgen_friendly_rate"] =
+            obs::json::Value(rate(d.optgen_friendly, d.events));
+        auto worst = obs::json::Value::array();
+        for (const PcAgreement &pc : d.worstPcs(5)) {
+            auto w = obs::json::Value::object();
+            char hex[2 + 16 + 1];
+            std::snprintf(hex, sizeof hex, "0x%llx",
+                          static_cast<unsigned long long>(pc.pc));
+            w["pc"] = obs::json::Value(hex);
+            w["events"] = obs::json::Value(pc.events);
+            w["agreement"] = obs::json::Value(pc.rate());
+            worst.push(std::move(w));
+        }
+        row["worst_pcs"] = std::move(worst);
+        rows.push(std::move(row));
+    }
+
+    double mean = suiteMeanAgreement(suite);
+    auto doc = obs::json::Value::object();
+    doc["suite"] = std::move(rows);
+    doc["mean_agreement"] = obs::json::Value(mean);
+    doc["pooled_agreement"] =
+        obs::json::Value(suitePooledAgreement(suite));
+    doc["gate"] = obs::json::Value(gate);
+    doc["pass"] = obs::json::Value(mean >= gate);
+    return doc;
 }
 
 } // namespace verify

@@ -18,9 +18,11 @@
 #define GLIDER_VERIFY_ORACLE_DIFF_HH
 
 #include <cstdint>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "obs/json.hh"
 #include "traces/trace.hh"
 
 namespace glider {
@@ -92,6 +94,28 @@ struct OracleDiffResult
 OracleDiffResult diffOracles(const traces::Trace &llc_stream,
                              const OracleDiffConfig &config
                              = OracleDiffConfig());
+
+/** One workload's differential run, for suite-level reporting. */
+struct OracleSuiteEntry
+{
+    std::string workload;
+    std::uint64_t llc_accesses = 0;
+    OracleDiffResult diff;
+};
+
+/** Mean of per-workload agreement rates (1.0 on an empty suite). */
+double suiteMeanAgreement(const std::vector<OracleSuiteEntry> &suite);
+
+/** Event-weighted agreement pooled across the suite. */
+double suitePooledAgreement(const std::vector<OracleSuiteEntry> &suite);
+
+/**
+ * The verify_oracles JSON document: per-workload rows (agreement,
+ * Belady hit rate, friendly rates, five worst-agreement PCs) plus
+ * mean/pooled agreement and the pass verdict against @p gate.
+ */
+obs::json::Value
+oracleSuiteJson(const std::vector<OracleSuiteEntry> &suite, double gate);
 
 } // namespace verify
 } // namespace glider

@@ -1,0 +1,388 @@
+/**
+ * @file
+ * Tests for src/obs: metric semantics, histogram percentile edge
+ * cases, JSON escape/parse round-trips, registry export, concurrent
+ * recording through a shared registry (the ObsRegistry.* tests are
+ * part of the TSan CI filter), the bench-report document, the
+ * bench_diff comparator (including an injected >10% regression), and
+ * the oracle suite JSON round-trip.
+ */
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/thread_pool.hh"
+#include "obs/bench_diff.hh"
+#include "obs/bench_report.hh"
+#include "obs/json.hh"
+#include "obs/metrics.hh"
+#include "verify/oracle_diff.hh"
+
+using namespace glider;
+
+TEST(ObsCounter, IncrementsAndSets)
+{
+    obs::Counter c;
+    EXPECT_EQ(c.value(), 0u);
+    c.inc();
+    c.inc(41);
+    EXPECT_EQ(c.value(), 42u);
+    c.set(7);
+    EXPECT_EQ(c.value(), 7u);
+}
+
+TEST(ObsGauge, SetAndAdd)
+{
+    obs::Gauge g;
+    g.set(1.5);
+    EXPECT_DOUBLE_EQ(g.value(), 1.5);
+    g.add(-0.5);
+    EXPECT_DOUBLE_EQ(g.value(), 1.0);
+}
+
+TEST(ObsHistogram, CountSumMinMaxMean)
+{
+    obs::Histogram h(0.0, 10.0, 10);
+    for (double x : {1.0, 2.0, 3.0, 4.0})
+        h.record(x);
+    EXPECT_EQ(h.count(), 4u);
+    EXPECT_DOUBLE_EQ(h.sum(), 10.0);
+    EXPECT_DOUBLE_EQ(h.mean(), 2.5);
+    EXPECT_DOUBLE_EQ(h.min(), 1.0);
+    EXPECT_DOUBLE_EQ(h.max(), 4.0);
+}
+
+TEST(ObsHistogram, EmptyPercentileIsZero)
+{
+    obs::Histogram h(0.0, 10.0, 10);
+    EXPECT_DOUBLE_EQ(h.percentile(50.0), 0.0);
+    EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(h.min(), 0.0);
+    EXPECT_DOUBLE_EQ(h.max(), 0.0);
+}
+
+TEST(ObsHistogram, SingleSamplePercentiles)
+{
+    obs::Histogram h(0.0, 100.0, 10);
+    h.record(37.0);
+    // Every percentile of a single sample lands in its bucket.
+    EXPECT_GE(h.percentile(1.0), 30.0);
+    EXPECT_LE(h.percentile(99.0), 40.0);
+}
+
+TEST(ObsHistogram, OverflowPercentileReturnsObservedMax)
+{
+    obs::Histogram h(0.0, 10.0, 10);
+    for (int i = 0; i < 10; ++i)
+        h.record(1e6); // all samples >= hi -> overflow bin
+    EXPECT_EQ(h.overflow(), 10u);
+    EXPECT_DOUBLE_EQ(h.percentile(99.0), 1e6);
+}
+
+TEST(ObsHistogram, BelowRangeClampsIntoFirstBucket)
+{
+    obs::Histogram h(10.0, 20.0, 10);
+    h.record(-5.0);
+    EXPECT_EQ(h.bucketCount(0), 1u);
+    EXPECT_DOUBLE_EQ(h.min(), -5.0);
+}
+
+TEST(ObsHistogram, PercentilesOrderedOnUniformData)
+{
+    obs::Histogram h(0.0, 100.0, 100);
+    for (int i = 0; i < 100; ++i)
+        h.record(static_cast<double>(i));
+    double p50 = h.percentile(50.0);
+    double p95 = h.percentile(95.0);
+    double p99 = h.percentile(99.0);
+    EXPECT_LT(p50, p95);
+    EXPECT_LT(p95, p99);
+    EXPECT_NEAR(p50, 50.0, 2.0);
+    EXPECT_NEAR(p95, 95.0, 2.0);
+}
+
+TEST(ObsHistogram, MergeAddsSamplesAndRejectsShapeMismatch)
+{
+    obs::Histogram a(0.0, 10.0, 10);
+    obs::Histogram b(0.0, 10.0, 10);
+    a.record(1.0);
+    b.record(2.0);
+    b.record(15.0); // overflow
+    a.merge(b);
+    EXPECT_EQ(a.count(), 3u);
+    EXPECT_EQ(a.overflow(), 1u);
+    EXPECT_DOUBLE_EQ(a.max(), 15.0);
+
+    obs::Histogram c(0.0, 5.0, 10);
+    EXPECT_THROW(a.merge(c), std::invalid_argument);
+}
+
+TEST(ObsJson, EscapeRoundTrip)
+{
+    std::string nasty = "a\"b\\c\nd\te\x01f";
+    auto doc = obs::json::Value::object();
+    doc[nasty] = obs::json::Value(nasty);
+    auto parsed = obs::json::Value::parse(doc.dump());
+    ASSERT_TRUE(parsed.isObject());
+    const obs::json::Value *v = parsed.find(nasty);
+    ASSERT_NE(v, nullptr);
+    EXPECT_EQ(v->str(), nasty);
+    EXPECT_TRUE(parsed == doc);
+}
+
+TEST(ObsJson, KindsSurviveRoundTrip)
+{
+    auto doc = obs::json::Value::object();
+    doc["null"] = obs::json::Value();
+    doc["bool"] = obs::json::Value(true);
+    doc["int"] = obs::json::Value(std::int64_t{-42});
+    doc["big"] = obs::json::Value(std::uint64_t{1} << 62);
+    doc["dbl"] = obs::json::Value(0.125);
+    doc["str"] = obs::json::Value("x");
+    auto arr = obs::json::Value::array();
+    arr.push(obs::json::Value(1));
+    arr.push(obs::json::Value("two"));
+    doc["arr"] = std::move(arr);
+
+    auto parsed = obs::json::Value::parse(doc.dump());
+    EXPECT_TRUE(parsed == doc);
+    EXPECT_EQ(parsed.find("int")->integer(), -42);
+    EXPECT_EQ(parsed.find("big")->integer(),
+              std::int64_t{1} << 62);
+    EXPECT_DOUBLE_EQ(parsed.find("dbl")->number(), 0.125);
+    EXPECT_EQ(parsed.find("arr")->at(1).str(), "two");
+}
+
+TEST(ObsJson, ParserRejectsTrailingGarbage)
+{
+    EXPECT_THROW(obs::json::Value::parse("{} x"),
+                 std::runtime_error);
+    EXPECT_THROW(obs::json::Value::parse("{\"a\":}"),
+                 std::runtime_error);
+}
+
+TEST(ObsRegistry, ExportNestsOnDots)
+{
+    obs::Registry reg;
+    reg.counter("llc.hits").inc(3);
+    reg.setGauge("llc.miss_rate", 0.25);
+    reg.label("build", "release");
+    auto doc = reg.toJson();
+    EXPECT_EQ(doc.find("schema")->str(), "glider-metrics");
+    EXPECT_EQ(doc.find("schema_version")->integer(),
+              obs::Registry::kSchemaVersion);
+    const obs::json::Value *metrics = doc.find("metrics");
+    ASSERT_NE(metrics, nullptr);
+    EXPECT_EQ(metrics->find("llc")->find("hits")->integer(), 3);
+    EXPECT_DOUBLE_EQ(
+        metrics->find("llc")->find("miss_rate")->number(), 0.25);
+    EXPECT_EQ(metrics->find("build")->str(), "release");
+
+    // Round-trips through the parser.
+    auto parsed = obs::json::Value::parse(doc.dump());
+    EXPECT_TRUE(parsed == doc);
+}
+
+TEST(ObsRegistry, RegistrationIsIdempotentAndTypeChecked)
+{
+    obs::Registry reg;
+    obs::Counter &a = reg.counter("x");
+    obs::Counter &b = reg.counter("x");
+    EXPECT_EQ(&a, &b);
+    EXPECT_THROW(reg.gauge("x"), std::invalid_argument);
+    EXPECT_THROW(reg.histogram("x", 0.0, 1.0, 4),
+                 std::invalid_argument);
+}
+
+TEST(ObsRegistry, PrefixConflictRejectedAtExport)
+{
+    obs::Registry reg;
+    reg.counter("a.b").inc();
+    reg.counter("a.b.c").inc(); // "a.b" is both leaf and subtree
+    EXPECT_THROW(reg.toJson(), std::runtime_error);
+}
+
+TEST(ObsRegistry, ConcurrentRecordingThroughSharedRegistry)
+{
+    obs::Registry reg;
+    ThreadPool pool(4);
+    constexpr int kTasks = 16;
+    constexpr int kPerTask = 1000;
+    std::vector<std::future<void>> futs;
+    for (int t = 0; t < kTasks; ++t) {
+        futs.push_back(pool.submit([&reg] {
+            // Mixed registration + recording from every worker: the
+            // registry hands all threads the same metric objects.
+            obs::Counter &c = reg.counter("work.items");
+            obs::Histogram &h =
+                reg.histogram("work.latency", 0.0, 100.0, 32);
+            for (int i = 0; i < kPerTask; ++i) {
+                c.inc();
+                h.record(static_cast<double>(i % 100));
+                reg.gauge("work.last").set(static_cast<double>(i));
+            }
+        }));
+    }
+    for (auto &f : futs)
+        f.get();
+    EXPECT_EQ(reg.counter("work.items").value(),
+              static_cast<std::uint64_t>(kTasks) * kPerTask);
+    EXPECT_EQ(reg.histogram("work.latency", 0.0, 100.0, 32).count(),
+              static_cast<std::uint64_t>(kTasks) * kPerTask);
+    auto doc = reg.toJson();
+    EXPECT_NE(doc.find("metrics")->find("work"), nullptr);
+}
+
+namespace {
+
+/** A minimal well-formed bench document for comparator tests. */
+obs::json::Value
+benchDoc(double throughput, double ratio, bool with_tolerance)
+{
+    obs::BenchReport report("unit");
+    report.metric("throughput", throughput, "accesses/s",
+                  obs::Direction::HigherBetter,
+                  with_tolerance ? 0.5 : -1.0);
+    report.metric("ratio", ratio, "x", obs::Direction::LowerBetter);
+    report.metric("note", 123.0, "", obs::Direction::Info);
+    return report.toJson();
+}
+
+} // namespace
+
+TEST(ObsBenchReport, DocumentShape)
+{
+    obs::BenchReport report("shape");
+    report.config("accesses", obs::json::Value(std::uint64_t{1000}));
+    report.metric("m", 2.0, "x", obs::Direction::HigherBetter, 0.2);
+    auto doc = report.toJson();
+    EXPECT_EQ(doc.find("schema")->str(), "glider-bench");
+    EXPECT_EQ(doc.find("schema_version")->integer(),
+              obs::BenchReport::kSchemaVersion);
+    EXPECT_EQ(doc.find("bench")->str(), "shape");
+    EXPECT_EQ(doc.find("config")->find("accesses")->integer(), 1000);
+    const obs::json::Value *m = doc.find("metrics")->find("m");
+    ASSERT_NE(m, nullptr);
+    EXPECT_DOUBLE_EQ(m->find("value")->number(), 2.0);
+    EXPECT_EQ(m->find("direction")->str(), "higher_better");
+    EXPECT_DOUBLE_EQ(m->find("tolerance")->number(), 0.2);
+
+    // Round-trips through the parser.
+    EXPECT_TRUE(obs::json::Value::parse(doc.dump()) == doc);
+}
+
+TEST(ObsBenchDiff, InjectedRegressionFailsDefaultTolerance)
+{
+    // 20% throughput drop vs a 10% default tolerance: must fail.
+    auto baseline = benchDoc(1000.0, 1.0, false);
+    auto current = benchDoc(800.0, 1.0, false);
+    auto result = obs::diffReports(baseline, current);
+    EXPECT_FALSE(result.pass);
+    EXPECT_EQ(result.regressions(), 1u);
+    // The formatter mentions the failing metric.
+    EXPECT_NE(obs::formatDiff(result).find("throughput"),
+              std::string::npos);
+}
+
+TEST(ObsBenchDiff, WithinToleranceAndImprovementsPass)
+{
+    // 5% drop within the 10% default; ratio improves (lower better).
+    auto baseline = benchDoc(1000.0, 1.0, false);
+    auto current = benchDoc(950.0, 0.5, false);
+    auto result = obs::diffReports(baseline, current);
+    EXPECT_TRUE(result.pass);
+    EXPECT_EQ(result.regressions(), 0u);
+}
+
+TEST(ObsBenchDiff, PerMetricToleranceOverridesDefault)
+{
+    // Same 20% drop, but the baseline stamps tolerance 0.5.
+    auto baseline = benchDoc(1000.0, 1.0, true);
+    auto current = benchDoc(800.0, 1.0, true);
+    auto result = obs::diffReports(baseline, current);
+    EXPECT_TRUE(result.pass);
+}
+
+TEST(ObsBenchDiff, MissingGatedMetricFails)
+{
+    auto baseline = benchDoc(1000.0, 1.0, false);
+    obs::BenchReport partial("unit");
+    partial.metric("ratio", 1.0, "x", obs::Direction::LowerBetter);
+    auto result = obs::diffReports(baseline, partial.toJson());
+    EXPECT_FALSE(result.pass);
+    // "throughput" (gated) and "note" (info) are both absent; only
+    // the gated one fails the diff, but both are reported missing.
+    ASSERT_EQ(result.missing.size(), 2u);
+    EXPECT_NE(std::find(result.missing.begin(), result.missing.end(),
+                        "throughput"),
+              result.missing.end());
+
+    obs::DiffOptions lax;
+    lax.fail_on_missing = false;
+    EXPECT_TRUE(obs::diffReports(baseline, partial.toJson(), lax).pass);
+}
+
+TEST(ObsBenchDiff, InfoMetricsNeverGate)
+{
+    obs::BenchReport base("unit"), cur("unit");
+    base.metric("note", 100.0, "", obs::Direction::Info);
+    cur.metric("note", 1.0, "", obs::Direction::Info);
+    auto result = obs::diffReports(base.toJson(), cur.toJson());
+    EXPECT_TRUE(result.pass);
+    EXPECT_EQ(result.regressions(), 0u);
+}
+
+TEST(ObsBenchDiff, ZeroBaselineNeverGates)
+{
+    obs::BenchReport base("unit"), cur("unit");
+    base.metric("m", 0.0, "", obs::Direction::HigherBetter);
+    cur.metric("m", -100.0, "", obs::Direction::HigherBetter);
+    auto result = obs::diffReports(base.toJson(), cur.toJson());
+    EXPECT_TRUE(result.pass);
+}
+
+TEST(ObsBenchDiff, MismatchedBenchNamesThrow)
+{
+    obs::BenchReport a("alpha"), b("beta");
+    EXPECT_THROW(obs::diffReports(a.toJson(), b.toJson()),
+                 std::runtime_error);
+}
+
+TEST(ObsOracleSuite, JsonRoundTripWithEscapedWorkloadName)
+{
+    verify::OracleSuiteEntry entry;
+    entry.workload = "mix \"quoted\"\n1"; // exercises escaping
+    entry.llc_accesses = 1000;
+    entry.diff.stream_accesses = 1000;
+    entry.diff.sampled_accesses = 100;
+    entry.diff.events = 80;
+    entry.diff.agreements = 72;
+    entry.diff.belady_friendly = 40;
+    entry.diff.optgen_friendly = 44;
+    entry.diff.belady_hit_rate = 0.5;
+    verify::PcAgreement pc;
+    pc.pc = 0xdeadbeef;
+    pc.events = 16;
+    pc.agree = 8;
+    entry.diff.per_pc[pc.pc] = pc;
+
+    auto doc = verify::oracleSuiteJson({entry}, 0.95);
+    auto parsed = obs::json::Value::parse(doc.dump());
+    EXPECT_TRUE(parsed == doc);
+
+    const obs::json::Value &row = parsed.find("suite")->at(0);
+    EXPECT_EQ(row.find("workload")->str(), entry.workload);
+    EXPECT_DOUBLE_EQ(row.find("agreement")->number(), 0.9);
+    EXPECT_EQ(row.find("worst_pcs")->at(0).find("pc")->str(),
+              "0xdeadbeef");
+    EXPECT_DOUBLE_EQ(parsed.find("mean_agreement")->number(), 0.9);
+    EXPECT_FALSE(parsed.find("pass")->boolean());
+
+    EXPECT_TRUE(verify::oracleSuiteJson({entry}, 0.5)
+                    .find("pass")
+                    ->boolean());
+}

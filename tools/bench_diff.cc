@@ -1,0 +1,102 @@
+/**
+ * @file
+ * CLI perf-regression gate over two BENCH_*.json artifacts.
+ *
+ *   bench_diff [--tolerance F] [--allow-missing] BASELINE CURRENT
+ *
+ * Prints a per-metric delta table and exits 0 when every gated
+ * metric is within tolerance, 1 on a regression (or a gated metric
+ * missing from the current run), 2 on usage/IO/schema errors.
+ * Per-metric "tolerance" fields in the baseline override the global
+ * --tolerance (default 10%); "info" metrics are reported only.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "obs/bench_diff.hh"
+
+namespace {
+
+int
+usage()
+{
+    std::fprintf(stderr,
+                 "usage: bench_diff [--tolerance F] [--allow-missing] "
+                 "BASELINE.json CURRENT.json\n");
+    return 2;
+}
+
+bool
+readFile(const std::string &path, std::string &out)
+{
+    std::ifstream in(path);
+    if (!in)
+        return false;
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    out = ss.str();
+    return true;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace glider;
+
+    obs::DiffOptions opts;
+    std::string paths[2];
+    int npaths = 0;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--tolerance") == 0) {
+            if (++i >= argc)
+                return usage();
+            char *end = nullptr;
+            opts.default_tolerance = std::strtod(argv[i], &end);
+            if (end == argv[i] || opts.default_tolerance < 0.0)
+                return usage();
+        } else if (std::strcmp(argv[i], "--allow-missing") == 0) {
+            opts.fail_on_missing = false;
+        } else if (argv[i][0] == '-') {
+            return usage();
+        } else if (npaths < 2) {
+            paths[npaths++] = argv[i];
+        } else {
+            return usage();
+        }
+    }
+    if (npaths != 2)
+        return usage();
+
+    std::string base_text, cur_text;
+    if (!readFile(paths[0], base_text)) {
+        std::fprintf(stderr, "bench_diff: cannot read %s\n",
+                     paths[0].c_str());
+        return 2;
+    }
+    if (!readFile(paths[1], cur_text)) {
+        std::fprintf(stderr, "bench_diff: cannot read %s\n",
+                     paths[1].c_str());
+        return 2;
+    }
+
+    try {
+        obs::json::Value baseline = obs::json::Value::parse(base_text);
+        obs::json::Value current = obs::json::Value::parse(cur_text);
+        obs::DiffResult result =
+            obs::diffReports(baseline, current, opts);
+        std::printf("bench_diff: %s vs %s\n%s", paths[0].c_str(),
+                    paths[1].c_str(),
+                    obs::formatDiff(result).c_str());
+        return result.pass ? 0 : 1;
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "bench_diff: %s\n", e.what());
+        return 2;
+    }
+}
