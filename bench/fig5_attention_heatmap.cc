@@ -90,7 +90,7 @@ main()
             continue;
         std::size_t s0 = rec.weights.size() - window;
         for (std::size_t s = s0; s < rec.weights.size(); ++s)
-            by_offset[s - s0] += rec.weights[s];
+            by_offset[s - s0] += static_cast<double>(rec.weights[s]);
         if (++counted >= 100)
             break;
     }

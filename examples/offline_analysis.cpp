@@ -65,7 +65,7 @@ main(int argc, char **argv)
         for (std::size_t s = 0; s < rec.weights.size(); ++s) {
             if (rec.weights[s] > 0.15f)
                 std::printf(" [pc-id %u w=%.2f]", rec.source_pcs[s],
-                            rec.weights[s]);
+                            static_cast<double>(rec.weights[s]));
         }
         std::printf("\n");
     }

@@ -137,8 +137,9 @@ TEST(Integration, GliderSpeedupTracksMissReduction)
     auto lru = sim::runSingleCore(trace, makePolicy("LRU"), fastOpts());
     auto gld = sim::runSingleCore(trace, makePolicy("Glider"),
                                   fastOpts());
-    if (gld.llc.misses < lru.llc.misses)
+    if (gld.llc.misses < lru.llc.misses) {
         EXPECT_GE(gld.ipc, lru.ipc * 0.999);
+    }
 }
 
 TEST(Integration, OnlineAccuracyProbesWork)
