@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "cachesim/cache.hh"
+#include "common/alloc_guard.hh"
 #include "core/policy_factory.hh"
 #include "obs/bench_report.hh"
 
@@ -145,6 +146,26 @@ llcConfig()
     return cfg;
 }
 
+/**
+ * In a -DGLIDER_ALLOCGUARD=ON build, replay @p s once over the
+ * already-warmed @p cache under the counting operator new and return
+ * the number of heap allocations (0 in a healthy build). Returns 0
+ * immediately when the guard is compiled out.
+ */
+std::uint64_t
+guardedAllocations(sim::Cache &cache, const Stream &s)
+{
+    if (!allocGuardEnabled())
+        return 0;
+    ScopedAllocCheck guard;
+    std::uint64_t hits = 0;
+    for (std::uint64_t block : s.blocks)
+        hits += cache.access(0, 0x400000, block, false) ? 1 : 0;
+    if (hits == static_cast<std::uint64_t>(-1))
+        std::printf("impossible\n");
+    return guard.allocations();
+}
+
 /** Accesses/second of @p cache over @p s (best of @p reps passes). */
 template <typename CacheT>
 double
@@ -196,14 +217,28 @@ main()
     constexpr double kAbsTolerance = 3.0;
     constexpr double kRatioTolerance = 0.35;
 
+    report.config("alloc_guard",
+                  obs::json::Value(allocGuardEnabled()));
+
     const std::vector<Stream> streams = {missStream(accesses),
                                          mixedStream(accesses)};
+    std::uint64_t guard_violations = 0;
     for (const char *policy : {"LRU", "SRRIP", "SHiP++"}) {
         for (const auto &s : streams) {
             LegacyCache legacy(llcConfig(), core::makePolicy(policy));
             sim::Cache current(llcConfig(), core::makePolicy(policy));
             double before = measure(legacy, s, reps);
             double after = measure(current, s, reps);
+            // With the counting allocator compiled in, the warmed
+            // production path must not touch the heap at all.
+            std::uint64_t allocs = guardedAllocations(current, s);
+            if (allocs > 0) {
+                std::printf("ALLOC GUARD: %s/%s allocated %llu "
+                            "time(s) on the warmed access path\n",
+                            policy, s.name.c_str(),
+                            static_cast<unsigned long long>(allocs));
+                guard_violations += allocs;
+            }
             std::printf("%-8s %-10s %14.2f %14.2f %8.2fx\n", policy,
                         s.name.c_str(), before / 1e6, after / 1e6,
                         after / before);
@@ -221,5 +256,7 @@ main()
         }
     }
     report.write();
+    if (guard_violations > 0)
+        return 1;
     return 0;
 }

@@ -30,7 +30,8 @@ class BasicLruPolicy : public ReplacementPolicy
     }
 
     std::uint32_t
-    victimWay(const ReplacementAccess &access, SetView lines) override
+    victimWay(const ReplacementAccess &access, SetView lines)
+        noexcept override
     {
         const std::uint64_t *row = &stamps_[access.set * geom_.ways];
         std::uint32_t victim = 0;
@@ -44,26 +45,28 @@ class BasicLruPolicy : public ReplacementPolicy
     }
 
     void
-    onHit(const ReplacementAccess &access, std::uint32_t way) override
+    onHit(const ReplacementAccess &access, std::uint32_t way)
+        noexcept override
     {
         touch(access.set, way);
     }
 
     void
     onEvict(const ReplacementAccess &, std::uint32_t,
-            const LineView &) override
+            const LineView &) noexcept override
     {
     }
 
     void
-    onInsert(const ReplacementAccess &access, std::uint32_t way) override
+    onInsert(const ReplacementAccess &access, std::uint32_t way)
+        noexcept override
     {
         touch(access.set, way);
     }
 
   private:
     void
-    touch(std::uint64_t set, std::uint32_t way)
+    touch(std::uint64_t set, std::uint32_t way) noexcept
     {
         stamps_[set * geom_.ways + way] = ++clock_;
     }

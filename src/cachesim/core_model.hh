@@ -18,8 +18,9 @@
 #define GLIDER_CACHESIM_CORE_MODEL_HH
 
 #include <cstdint>
-#include <deque>
+#include <vector>
 
+#include "common/logging.hh"
 #include "hierarchy.hh"
 
 namespace glider {
@@ -39,8 +40,9 @@ class CoreModel
 {
   public:
     explicit CoreModel(const CoreParams &params = CoreParams())
-        : params_(params)
+        : params_(params), ring_(params.mshrs)
     {
+        GLIDER_ASSERT(params.mshrs >= 1);
     }
 
     /**
@@ -49,7 +51,7 @@ class CoreModel
      * instructions of surrounding non-memory work).
      */
     void
-    step(AccessDepth depth, std::uint32_t latency)
+    step(AccessDepth depth, std::uint32_t latency) noexcept
     {
         instructions_ += params_.instr_per_access;
         cycles_ += static_cast<double>(params_.instr_per_access)
@@ -59,33 +61,33 @@ class CoreModel
             return; // fully pipelined
 
         // Retire completed operations.
-        while (!outstanding_.empty()
-               && outstanding_.front().completion <= cycles_) {
-            outstanding_.pop_front();
-        }
+        while (count_ > 0 && front().completion <= cycles_)
+            popFront();
         // MSHR limit: a new memory op cannot issue until a slot frees.
-        while (outstanding_.size() >= params_.mshrs) {
-            stallUntil(outstanding_.front().completion);
-            outstanding_.pop_front();
+        // The ring holds exactly mshrs entries, so at most one pop.
+        if (count_ >= params_.mshrs) {
+            stallUntil(front().completion);
+            popFront();
         }
         // ROB limit: cannot run further ahead than the window allows
         // past the oldest incomplete memory op.
-        while (!outstanding_.empty()
-               && instructions_ - outstanding_.front().issued_instr
+        while (count_ > 0
+               && instructions_ - front().issued_instr
                    >= params_.rob_entries) {
-            stallUntil(outstanding_.front().completion);
-            outstanding_.pop_front();
+            stallUntil(front().completion);
+            popFront();
         }
-        outstanding_.push_back({cycles_ + latency, instructions_});
+        pushBack({cycles_ + latency, instructions_});
     }
 
     /** Drain outstanding operations at end of simulation. */
     void
-    finish()
+    finish() noexcept
     {
-        if (!outstanding_.empty()) {
-            stallUntil(outstanding_.back().completion);
-            outstanding_.clear();
+        if (count_ > 0) {
+            stallUntil(back().completion);
+            head_ = 0;
+            count_ = 0;
         }
     }
 
@@ -106,7 +108,8 @@ class CoreModel
     {
         instructions_ = 0;
         cycles_ = 0.0;
-        outstanding_.clear();
+        head_ = 0;
+        count_ = 0;
     }
 
     const CoreParams &params() const { return params_; }
@@ -118,8 +121,38 @@ class CoreModel
         std::uint64_t issued_instr;
     };
 
+    // Fixed ring buffer over the MSHR window. A std::deque here cost
+    // a chunk allocation/free every ~few hundred accesses on the per-
+    // access path; the window is hard-bounded at mshrs entries, so
+    // capacity is allocated once in the constructor.
+    const Outstanding &
+    front() const noexcept
+    {
+        return ring_[head_];
+    }
+
+    const Outstanding &
+    back() const noexcept
+    {
+        return ring_[(head_ + count_ - 1) % ring_.size()];
+    }
+
     void
-    stallUntil(double when)
+    popFront() noexcept
+    {
+        head_ = (head_ + 1) % ring_.size();
+        --count_;
+    }
+
+    void
+    pushBack(Outstanding op) noexcept
+    {
+        ring_[(head_ + count_) % ring_.size()] = op;
+        ++count_;
+    }
+
+    void
+    stallUntil(double when) noexcept
     {
         if (when > cycles_)
             cycles_ = when;
@@ -128,7 +161,9 @@ class CoreModel
     CoreParams params_;
     std::uint64_t instructions_ = 0;
     double cycles_ = 0.0;
-    std::deque<Outstanding> outstanding_;
+    std::vector<Outstanding> ring_;
+    std::size_t head_ = 0;
+    std::size_t count_ = 0;
 };
 
 } // namespace sim

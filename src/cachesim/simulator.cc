@@ -64,7 +64,7 @@ runMultiCore(const std::vector<const traces::Trace *> &traces,
     MultiCoreResult res;
     res.policy = hier.llc().policy().name();
     for (auto *t : traces)
-        res.workloads.push_back(t->name());
+        res.workloads.push_back(t->name()); // glider-lint: allow(hotpath-alloc) per-run setup
 
     std::uint64_t warmup = static_cast<std::uint64_t>(
         opts.warmup_fraction * static_cast<double>(min_accesses_per_core));
@@ -106,6 +106,8 @@ runMultiCore(const std::vector<const traces::Trace *> &traces,
                 hier.clearStatsCounters();
                 for (auto &m : models)
                     m.clearCounters();
+                // glider-lint: allow(hotpath-alloc) once per run, at
+                // the warm transition; assign reuses capacity
                 executed.assign(cores, 0);
             }
         } else if (executed[next] == min_accesses_per_core) {
@@ -115,6 +117,7 @@ runMultiCore(const std::vector<const traces::Trace *> &traces,
 
     for (unsigned c = 0; c < cores; ++c) {
         models[c].finish();
+        // glider-lint: allow(hotpath-alloc) per-run result assembly
         res.ipc_shared.push_back(models[c].ipc());
     }
     res.llc = hier.llc().stats();

@@ -1,0 +1,194 @@
+/**
+ * @file
+ * Counting global operator new/delete (GLIDER_ALLOCGUARD builds).
+ *
+ * All eight replaceable forms funnel through countedAlloc/countedFree
+ * so the per-thread counters in alloc_guard.hh see every heap
+ * allocation in the process, including those made by the standard
+ * library. The hooks deliberately do nothing clever — malloc/free
+ * plus a counter bump — so allocation behavior under the guard stays
+ * representative of release builds.
+ */
+
+#include "common/alloc_guard.hh"
+
+#if GLIDER_ALLOCGUARD
+
+#include <cstdlib>
+#include <new>
+
+namespace glider {
+namespace {
+
+// POD per-thread counters: zero-initialized, no dynamic init, and
+// trivially destructible so counting stays safe during thread and
+// process teardown.
+thread_local std::uint64_t t_allocations = 0;
+thread_local std::uint64_t t_frees = 0;
+thread_local std::uint64_t t_bytes = 0;
+
+void *
+countedAlloc(std::size_t size)
+{
+    ++t_allocations;
+    t_bytes += size;
+    // malloc(0) may return nullptr legally; operator new must not.
+    return std::malloc(size ? size : 1);
+}
+
+void *
+countedAlignedAlloc(std::size_t size, std::size_t align)
+{
+    ++t_allocations;
+    t_bytes += size;
+    // aligned_alloc requires size to be a multiple of alignment.
+    std::size_t rounded = (size + align - 1) / align * align;
+    return std::aligned_alloc(align, rounded ? rounded : align);
+}
+
+void
+countedFree(void *p) noexcept
+{
+    if (p != nullptr)
+        ++t_frees;
+    std::free(p);
+}
+
+} // namespace
+
+bool
+allocGuardEnabled() noexcept
+{
+    return true;
+}
+
+AllocCounts
+allocCounts() noexcept
+{
+    return {t_allocations, t_frees, t_bytes};
+}
+
+} // namespace glider
+
+void *
+operator new(std::size_t size)
+{
+    void *p = glider::countedAlloc(size);
+    if (p == nullptr)
+        throw std::bad_alloc();
+    return p;
+}
+
+void *
+operator new[](std::size_t size)
+{
+    return operator new(size);
+}
+
+void *
+operator new(std::size_t size, const std::nothrow_t &) noexcept
+{
+    return glider::countedAlloc(size);
+}
+
+void *
+operator new[](std::size_t size, const std::nothrow_t &) noexcept
+{
+    return glider::countedAlloc(size);
+}
+
+void *
+operator new(std::size_t size, std::align_val_t align)
+{
+    void *p = glider::countedAlignedAlloc(
+        size, static_cast<std::size_t>(align));
+    if (p == nullptr)
+        throw std::bad_alloc();
+    return p;
+}
+
+void *
+operator new[](std::size_t size, std::align_val_t align)
+{
+    return operator new(size, align);
+}
+
+void
+operator delete(void *p) noexcept
+{
+    glider::countedFree(p);
+}
+
+void
+operator delete[](void *p) noexcept
+{
+    glider::countedFree(p);
+}
+
+void
+operator delete(void *p, std::size_t) noexcept
+{
+    glider::countedFree(p);
+}
+
+void
+operator delete[](void *p, std::size_t) noexcept
+{
+    glider::countedFree(p);
+}
+
+void
+operator delete(void *p, std::align_val_t) noexcept
+{
+    glider::countedFree(p);
+}
+
+void
+operator delete[](void *p, std::align_val_t) noexcept
+{
+    glider::countedFree(p);
+}
+
+void
+operator delete(void *p, std::size_t, std::align_val_t) noexcept
+{
+    glider::countedFree(p);
+}
+
+void
+operator delete[](void *p, std::size_t, std::align_val_t) noexcept
+{
+    glider::countedFree(p);
+}
+
+void
+operator delete(void *p, const std::nothrow_t &) noexcept
+{
+    glider::countedFree(p);
+}
+
+void
+operator delete[](void *p, const std::nothrow_t &) noexcept
+{
+    glider::countedFree(p);
+}
+
+#else // !GLIDER_ALLOCGUARD
+
+namespace glider {
+
+bool
+allocGuardEnabled() noexcept
+{
+    return false;
+}
+
+AllocCounts
+allocCounts() noexcept
+{
+    return {};
+}
+
+} // namespace glider
+
+#endif // GLIDER_ALLOCGUARD

@@ -1,6 +1,7 @@
 #include "policy_factory.hh"
 
 #include "common/logging.hh"
+#include "core/policy_traits.hh"
 #include "glider_policy.hh"
 #include "verify/checked_policy.hh"
 #include "policies/hawkeye.hh"
@@ -13,6 +14,27 @@
 
 namespace glider {
 namespace core {
+
+// Registration gate: every policy constructible through makePolicy
+// must satisfy the full compile-time contract (see policy_traits.hh).
+// Adding a policy below without noexcept hot methods or with a
+// drifted signature fails right here, naming the concept.
+static_assert(RegisteredPolicy<policies::LruPolicy>);
+static_assert(RegisteredPolicy<policies::RandomPolicy>);
+static_assert(RegisteredPolicy<policies::SrripPolicy>);
+static_assert(RegisteredPolicy<policies::BrripPolicy>);
+static_assert(RegisteredPolicy<policies::DrripPolicy>);
+static_assert(RegisteredPolicy<policies::SdbpPolicy>);
+static_assert(RegisteredPolicy<policies::ShipPolicy>);
+static_assert(RegisteredPolicy<policies::ShipPPPolicy>);
+static_assert(RegisteredPolicy<policies::MpppbPolicy>);
+static_assert(RegisteredPolicy<policies::HawkeyePolicy>);
+static_assert(RegisteredPolicy<GliderPolicy>);
+
+// The invariant checker is deliberately NOT a RegisteredPolicy: it
+// reports protocol violations by throwing, so its hot methods cannot
+// be noexcept.
+static_assert(!PolicyHotPath<verify::CheckedPolicy>);
 
 std::vector<std::string>
 policyNames()

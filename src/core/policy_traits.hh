@@ -1,0 +1,79 @@
+#ifndef GLIDER_CORE_POLICY_TRAITS_HH
+#define GLIDER_CORE_POLICY_TRAITS_HH
+
+/**
+ * @file
+ * Compile-time contract every registered replacement policy must
+ * satisfy, expressed as C++20 concepts and enforced by static_assert
+ * in policy_factory.cc. The virtual interface in replacement.hh only
+ * guarantees the signatures; this layer pins down the parts the
+ * simulator *relies on* but the type system would otherwise let
+ * drift:
+ *
+ *  - the hot protocol methods (victimWay/onHit/onEvict/onInsert) are
+ *    noexcept on every concrete policy, so the per-access loop in
+ *    sim::Cache carries no unwinding obligations. The base class
+ *    stays potentially-throwing on purpose: verify::CheckedPolicy
+ *    reports invariant violations by throwing, and a wrapper is not
+ *    a registered policy.
+ *  - victimWay takes SetView *by value* (zero-copy pointer+count) and
+ *    returns std::uint32_t — a signature mismatch would silently
+ *    declare a new overload instead of overriding.
+ *  - the cold surface (name/reset/exportMetrics) stays callable with
+ *    the exact factory-visible shapes.
+ *
+ * A policy that cannot meet the noexcept requirement (e.g. one that
+ * legitimately reports errors by throwing) should not be registered
+ * through core::makePolicy; wrap it the way verify::CheckedPolicy is
+ * wrapped instead.
+ */
+
+#include <concepts>
+#include <cstdint>
+#include <string>
+#include <type_traits>
+
+#include "cachesim/replacement.hh"
+
+namespace glider {
+namespace core {
+
+/** Hot-path protocol: exact signatures, all noexcept. */
+template <typename P>
+concept PolicyHotPath = requires(
+    P &p, const sim::ReplacementAccess &access, sim::SetView lines,
+    std::uint32_t way, const sim::LineView &victim) {
+    { p.victimWay(access, lines) } noexcept
+        -> std::same_as<std::uint32_t>;
+    { p.onHit(access, way) } noexcept -> std::same_as<void>;
+    { p.onEvict(access, way, victim) } noexcept -> std::same_as<void>;
+    { p.onInsert(access, way) } noexcept -> std::same_as<void>;
+};
+
+/** Cold surface: naming, lifecycle, telemetry. */
+template <typename P>
+concept PolicyColdPath = requires(
+    P &p, const P &cp, const sim::CacheGeometry &geom,
+    obs::Registry &registry, const std::string &prefix) {
+    { cp.name() } -> std::convertible_to<std::string>;
+    { p.reset(geom) } -> std::same_as<void>;
+    { cp.exportMetrics(registry, prefix) } -> std::same_as<void>;
+};
+
+/**
+ * The full contract for a policy registered in core::makePolicy.
+ * Checked via static_assert at the registration site so adding a
+ * policy that violates it fails the build with the concept's name in
+ * the diagnostic, not a miscompiled vtable at runtime.
+ */
+template <typename P>
+concept RegisteredPolicy =
+    std::derived_from<P, sim::ReplacementPolicy>
+    && !std::is_abstract_v<P>
+    && std::is_default_constructible_v<P>
+    && PolicyHotPath<P> && PolicyColdPath<P>;
+
+} // namespace core
+} // namespace glider
+
+#endif // GLIDER_CORE_POLICY_TRAITS_HH

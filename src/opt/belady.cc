@@ -32,8 +32,10 @@ simulateBelady(const traces::Trace &stream, std::uint64_t sets,
     std::vector<std::size_t> next = computeNextUse(stream);
 
     BeladyResult res;
+    // glider-lint: allow(hotpath-alloc) offline oracle, not the
+    // simulator access path
     res.labels.assign(stream.size(), 0);
-    res.hits.assign(stream.size(), 0);
+    res.hits.assign(stream.size(), 0); // glider-lint: allow(hotpath-alloc)
 
     struct Line
     {
@@ -105,7 +107,7 @@ BeladyPolicy::reset(const sim::CacheGeometry &geom)
 }
 
 std::size_t
-BeladyPolicy::advance(const sim::ReplacementAccess &access)
+BeladyPolicy::advance(const sim::ReplacementAccess &access) noexcept
 {
     GLIDER_ASSERT(cursor_ < stream_->size());
     std::uint64_t expect =
@@ -119,7 +121,7 @@ BeladyPolicy::advance(const sim::ReplacementAccess &access)
 
 std::uint32_t
 BeladyPolicy::victimWay(const sim::ReplacementAccess &access,
-                        sim::SetView lines)
+                        sim::SetView lines) noexcept
 {
     std::size_t i = advance(access);
     std::size_t incoming_next = next_use_[i];
@@ -140,7 +142,7 @@ BeladyPolicy::victimWay(const sim::ReplacementAccess &access,
 
 void
 BeladyPolicy::onHit(const sim::ReplacementAccess &access,
-                    std::uint32_t way)
+                    std::uint32_t way) noexcept
 {
     std::size_t i = advance(access);
     line_next_use_[access.set * geom_.ways + way] = next_use_[i];
@@ -148,13 +150,13 @@ BeladyPolicy::onHit(const sim::ReplacementAccess &access,
 
 void
 BeladyPolicy::onEvict(const sim::ReplacementAccess &, std::uint32_t,
-                      const sim::LineView &)
+                      const sim::LineView &) noexcept
 {
 }
 
 void
 BeladyPolicy::onInsert(const sim::ReplacementAccess &access,
-                       std::uint32_t way)
+                       std::uint32_t way) noexcept
 {
     // victimWay() already consumed the stream position for this miss;
     // cursor_ - 1 is the current access.

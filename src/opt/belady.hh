@@ -69,17 +69,17 @@ class BeladyPolicy : public sim::ReplacementPolicy
     std::string name() const override { return "MIN"; }
     void reset(const sim::CacheGeometry &geom) override;
     std::uint32_t victimWay(const sim::ReplacementAccess &access,
-                            sim::SetView lines) override;
+                            sim::SetView lines) noexcept override;
     void onHit(const sim::ReplacementAccess &access,
-               std::uint32_t way) override;
+               std::uint32_t way) noexcept override;
     void onEvict(const sim::ReplacementAccess &access, std::uint32_t way,
-                 const sim::LineView &victim) override;
+                 const sim::LineView &victim) noexcept override;
     void onInsert(const sim::ReplacementAccess &access,
-                  std::uint32_t way) override;
+                  std::uint32_t way) noexcept override;
 
   private:
     /** Advance the stream cursor, checking the caller stays in sync. */
-    std::size_t advance(const sim::ReplacementAccess &access);
+    std::size_t advance(const sim::ReplacementAccess &access) noexcept;
 
     const traces::Trace *stream_;
     std::vector<std::size_t> next_use_;

@@ -12,8 +12,9 @@ traces::Trace
 extractLlcStream(const traces::Trace &cpu_trace,
                  const sim::HierarchyConfig &config)
 {
+    // glider-lint: allow(hotpath-alloc) offline stream extraction
     sim::Cache l1(config.l1, std::make_unique<sim::BasicLruPolicy>());
-    sim::Cache l2(config.l2, std::make_unique<sim::BasicLruPolicy>());
+    sim::Cache l2(config.l2, std::make_unique<sim::BasicLruPolicy>()); // glider-lint: allow(hotpath-alloc)
 
     traces::Trace out(cpu_trace.name() + ".llc");
     for (const auto &rec : cpu_trace) {

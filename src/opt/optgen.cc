@@ -18,6 +18,10 @@ OptGenSet::OptGenSet(std::uint32_t ways, std::size_t history_quanta,
     GLIDER_ASSERT(ways >= 1);
     GLIDER_ASSERT(history_quanta >= 1);
     GLIDER_ASSERT(max_entries >= 1);
+    // The expired queue is drained after every access, so it never
+    // holds more than one batch of aged-out entries; reserving the
+    // entry budget keeps the access-path push_backs allocation-free.
+    expired_.reserve(max_entries);
 }
 
 std::uint8_t &
@@ -48,6 +52,8 @@ OptGenSet::access(std::uint64_t block, std::uint64_t pc,
                 ev.history = e.history;
                 ev.predicted_friendly = e.predicted_friendly;
                 ev.prediction_valid = e.prediction_valid;
+                // glider-lint: allow(hotpath-alloc) reserved to
+                // max_entries in the constructor
                 expired_.push_back(std::move(ev));
                 e.valid = false;
                 ++stats_.expired_negatives;
@@ -112,6 +118,8 @@ OptGenSet::access(std::uint64_t block, std::uint64_t pc,
             ev.history = oldest->history;
             ev.predicted_friendly = oldest->predicted_friendly;
             ev.prediction_valid = oldest->prediction_valid;
+            // glider-lint: allow(hotpath-alloc) reserved to
+            // max_entries in the constructor
             expired_.push_back(std::move(ev));
             ++stats_.capacity_evictions;
             entry = oldest;

@@ -15,7 +15,6 @@
 #define GLIDER_POLICIES_MPPPB_HH
 
 #include <array>
-#include <deque>
 #include <vector>
 
 #include "common/hash.hh"
@@ -45,7 +44,7 @@ class MpppbPolicy : public RrpvBase
 
     void
     onHit(const sim::ReplacementAccess &access, std::uint32_t way)
-        override
+        noexcept override
     {
         std::size_t idx = access.set * geom_.ways + way;
         // Reuse observed: train toward "friendly" if the decision was
@@ -61,7 +60,7 @@ class MpppbPolicy : public RrpvBase
 
     void
     onEvict(const sim::ReplacementAccess &access, std::uint32_t way,
-            const sim::LineView &) override
+            const sim::LineView &) noexcept override
     {
         std::size_t idx = access.set * geom_.ways + way;
         // Dead on eviction: train toward "averse" symmetrically.
@@ -71,7 +70,7 @@ class MpppbPolicy : public RrpvBase
 
     void
     onInsert(const sim::ReplacementAccess &access, std::uint32_t way)
-        override
+        noexcept override
     {
         auto feats = features(access);
         int sum = 0;
@@ -106,13 +105,31 @@ class MpppbPolicy : public RrpvBase
     /** Ordered PC history depth (3, per Teran et al. / MPPPB). */
     static constexpr std::size_t kHistoryDepth = 3;
 
-    void
-    pushHistory(const sim::ReplacementAccess &access)
+    /**
+     * Fixed-capacity ordered PC history. A std::deque would allocate
+     * chunk nodes from the onHit/onInsert path; at depth 3 a shift-
+     * down array is both allocation-free and faster.
+     */
+    struct PcQueue
     {
-        auto &h = pc_history_[access.core];
-        h.push_front(access.pc);
-        if (h.size() > kHistoryDepth)
-            h.pop_back();
+        std::array<std::uint64_t, kHistoryDepth> pc{};
+        std::size_t size = 0;
+
+        void
+        pushFront(std::uint64_t p) noexcept
+        {
+            for (std::size_t i = kHistoryDepth - 1; i > 0; --i)
+                pc[i] = pc[i - 1];
+            pc[0] = p;
+            if (size < kHistoryDepth)
+                ++size;
+        }
+    };
+
+    void
+    pushHistory(const sim::ReplacementAccess &access) noexcept
+    {
+        pc_history_[access.core].pushFront(access.pc);
     }
 
     std::array<std::uint16_t, kFeatures>
@@ -128,7 +145,7 @@ class MpppbPolicy : public RrpvBase
         // folded into the hash (this is exactly the representation
         // Glider's unordered k-sparse feature abandons).
         for (std::size_t i = 0; i < kHistoryDepth; ++i) {
-            std::uint64_t pc_i = i < h.size() ? h[i] : 0;
+            std::uint64_t pc_i = i < h.size ? h.pc[i] : 0;
             f[1 + i] = fold(hashCombine(pc_i, i + 1));
         }
         f[4] = fold(access.block_addr >> 4);  // region bits
@@ -153,7 +170,7 @@ class MpppbPolicy : public RrpvBase
     std::vector<std::array<std::uint16_t, kFeatures>> line_feat_;
     std::vector<std::uint8_t> line_reused_;
     std::vector<int> line_sum_;
-    std::vector<std::deque<std::uint64_t>> pc_history_;
+    std::vector<PcQueue> pc_history_;
 };
 
 } // namespace policies

@@ -59,7 +59,7 @@ OptGuidedPolicy::sample(const sim::ReplacementAccess &access,
 
 std::uint32_t
 OptGuidedPolicy::victimWay(const sim::ReplacementAccess &access,
-                           sim::SetView lines)
+                           sim::SetView lines) noexcept
 {
     std::uint8_t *row = &rrpv_[access.set * geom_.ways];
     for (std::uint32_t w = 0; w < geom_.ways; ++w) {
@@ -86,7 +86,7 @@ OptGuidedPolicy::victimWay(const sim::ReplacementAccess &access,
 
 void
 OptGuidedPolicy::onHit(const sim::ReplacementAccess &access,
-                       std::uint32_t way)
+                       std::uint32_t way) noexcept
 {
     observeAccess(access);
     Pred pred = predictAccess(access);
@@ -101,13 +101,13 @@ OptGuidedPolicy::onHit(const sim::ReplacementAccess &access,
 
 void
 OptGuidedPolicy::onEvict(const sim::ReplacementAccess &, std::uint32_t,
-                         const sim::LineView &)
+                         const sim::LineView &) noexcept
 {
 }
 
 void
 OptGuidedPolicy::onInsert(const sim::ReplacementAccess &access,
-                          std::uint32_t way)
+                          std::uint32_t way) noexcept
 {
     observeAccess(access);
     Pred pred = predictAccess(access);

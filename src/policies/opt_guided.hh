@@ -52,13 +52,13 @@ class OptGuidedPolicy : public sim::ReplacementPolicy
 
     void reset(const sim::CacheGeometry &geom) override;
     std::uint32_t victimWay(const sim::ReplacementAccess &access,
-                            sim::SetView lines) override;
+                            sim::SetView lines) noexcept override;
     void onHit(const sim::ReplacementAccess &access,
-               std::uint32_t way) override;
+               std::uint32_t way) noexcept override;
     void onEvict(const sim::ReplacementAccess &access, std::uint32_t way,
-                 const sim::LineView &victim) override;
+                 const sim::LineView &victim) noexcept override;
     void onInsert(const sim::ReplacementAccess &access,
-                  std::uint32_t way) override;
+                  std::uint32_t way) noexcept override;
 
     /** Online predictor accuracy vs OPTgen (Figure 10). */
     const PredictorAccuracy &predictorAccuracy() const

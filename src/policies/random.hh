@@ -29,7 +29,8 @@ class RandomPolicy : public sim::ReplacementPolicy
     }
 
     std::uint32_t
-    victimWay(const sim::ReplacementAccess &, sim::SetView lines) override
+    victimWay(const sim::ReplacementAccess &, sim::SetView lines)
+        noexcept override
     {
         for (std::uint32_t w = 0; w < geom_.ways; ++w) {
             if (!lines[w].valid)
@@ -38,12 +39,16 @@ class RandomPolicy : public sim::ReplacementPolicy
         return static_cast<std::uint32_t>(rng_.below(geom_.ways));
     }
 
-    void onHit(const sim::ReplacementAccess &, std::uint32_t) override {}
-    void onEvict(const sim::ReplacementAccess &, std::uint32_t,
-                 const sim::LineView &) override
+    void onHit(const sim::ReplacementAccess &, std::uint32_t)
+        noexcept override
     {
     }
-    void onInsert(const sim::ReplacementAccess &, std::uint32_t) override
+    void onEvict(const sim::ReplacementAccess &, std::uint32_t,
+                 const sim::LineView &) noexcept override
+    {
+    }
+    void onInsert(const sim::ReplacementAccess &, std::uint32_t)
+        noexcept override
     {
     }
 

@@ -34,7 +34,7 @@ class RrpvBase : public sim::ReplacementPolicy
 
     std::uint32_t
     victimWay(const sim::ReplacementAccess &access,
-              sim::SetView lines) override
+              sim::SetView lines) noexcept override
     {
         for (std::uint32_t w = 0; w < geom_.ways; ++w) {
             if (!lines[w].valid)
@@ -53,14 +53,14 @@ class RrpvBase : public sim::ReplacementPolicy
 
     void
     onHit(const sim::ReplacementAccess &access, std::uint32_t way)
-        override
+        noexcept override
     {
         rowFor(access.set)[way] = 0;
     }
 
     void
     onEvict(const sim::ReplacementAccess &, std::uint32_t,
-            const sim::LineView &) override
+            const sim::LineView &) noexcept override
     {
     }
 
@@ -82,7 +82,7 @@ class SrripPolicy : public RrpvBase
 
     void
     onInsert(const sim::ReplacementAccess &access, std::uint32_t way)
-        override
+        noexcept override
     {
         rowFor(access.set)[way] = kMaxRrpv - 1;
     }
@@ -98,7 +98,7 @@ class BrripPolicy : public RrpvBase
 
     void
     onInsert(const sim::ReplacementAccess &access, std::uint32_t way)
-        override
+        noexcept override
     {
         rowFor(access.set)[way] =
             rng_.chance(1.0 / 32.0) ? kMaxRrpv - 1 : kMaxRrpv;
@@ -128,7 +128,7 @@ class DrripPolicy : public RrpvBase
 
     std::uint32_t
     victimWay(const sim::ReplacementAccess &access,
-              sim::SetView lines) override
+              sim::SetView lines) noexcept override
     {
         // A miss in a leader set votes against that leader's policy.
         switch (leaderKind(access.set)) {
@@ -148,7 +148,7 @@ class DrripPolicy : public RrpvBase
 
     void
     onInsert(const sim::ReplacementAccess &access, std::uint32_t way)
-        override
+        noexcept override
     {
         bool use_brrip;
         switch (leaderKind(access.set)) {

@@ -40,7 +40,7 @@ class SdbpPolicy : public RrpvBase
 
     void
     onHit(const sim::ReplacementAccess &access, std::uint32_t way)
-        override
+        noexcept override
     {
         maybeSample(access);
         // A predicted-dead block that hits is revived.
@@ -51,7 +51,7 @@ class SdbpPolicy : public RrpvBase
 
     void
     onInsert(const sim::ReplacementAccess &access, std::uint32_t way)
-        override
+        noexcept override
     {
         maybeSample(access);
         rowFor(access.set)[way] = deadPredicted(access.pc)

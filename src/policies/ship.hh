@@ -36,7 +36,7 @@ class ShipBase : public RrpvBase
 
     void
     onHit(const sim::ReplacementAccess &access, std::uint32_t way)
-        override
+        noexcept override
     {
         RrpvBase::onHit(access, way);
         std::size_t idx = access.set * geom_.ways + way;
@@ -50,7 +50,7 @@ class ShipBase : public RrpvBase
 
     void
     onEvict(const sim::ReplacementAccess &access, std::uint32_t way,
-            const sim::LineView &) override
+            const sim::LineView &) noexcept override
     {
         std::size_t idx = access.set * geom_.ways + way;
         if (!line_reused_[idx])
@@ -59,7 +59,7 @@ class ShipBase : public RrpvBase
 
     void
     onInsert(const sim::ReplacementAccess &access, std::uint32_t way)
-        override
+        noexcept override
     {
         std::size_t idx = access.set * geom_.ways + way;
         std::uint32_t sig = signature(access.pc);

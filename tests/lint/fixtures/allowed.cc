@@ -1,0 +1,42 @@
+// Fixture: linted as src/cachesim/allowed.cc. Every violation below
+// carries an escape hatch, so the file must produce zero findings.
+// glider-lint: allow-file(json-outside-obs) fixture exercises the
+// file-wide hatch
+#include <cstdint>
+#include <cstdio>
+#include <random>
+#include <vector>
+
+namespace fixture {
+
+class AllowedPolicy
+{
+  public:
+    std::uint32_t
+    victimWay(std::uint64_t set)
+    {
+        // glider-lint: allow(hotpath-alloc) line-above hatch
+        history_.push_back(set);
+        seen_.push_back(set); // glider-lint: allow(hotpath-alloc) same-line hatch
+        return 0;
+    }
+
+    void
+    debugDump() const
+    {
+        std::printf("{\"entries\": %zu}\n", history_.size());
+    }
+
+    int
+    jitter()
+    {
+        std::mt19937 gen; // glider-lint: allow(unseeded-rng) fixture
+        return static_cast<int>(gen() & 3);
+    }
+
+  private:
+    std::vector<std::uint64_t> history_;
+    std::vector<std::uint64_t> seen_;
+};
+
+} // namespace fixture

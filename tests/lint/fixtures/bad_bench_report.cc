@@ -1,0 +1,10 @@
+// Fixture: linted as bench/bad_bench_report.cc. Defines main() but
+// never builds a BenchReport: exactly one bench-report finding.
+#include <cstdio>
+
+int
+main()
+{
+    std::printf("throughput: 42\n");
+    return 0;
+}

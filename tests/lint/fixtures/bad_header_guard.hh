@@ -1,0 +1,15 @@
+// Fixture: linted as src/cachesim/bad_header_guard.hh; the guard
+// below does not match the canonical name derived from that path
+// (GLIDER_CACHESIM_BAD_HEADER_GUARD_HH): one header-guard finding.
+#ifndef WRONG_GUARD_NAME_HH
+#define WRONG_GUARD_NAME_HH
+
+namespace fixture {
+inline int
+answer()
+{
+    return 42;
+}
+} // namespace fixture
+
+#endif // WRONG_GUARD_NAME_HH

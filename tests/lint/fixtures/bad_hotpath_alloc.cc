@@ -1,0 +1,29 @@
+// Fixture: linted as src/cachesim/bad_hotpath_alloc.cc (hot path).
+// Exactly one hotpath-alloc finding: the push_back in victimWay.
+// The identical call in reset() is cold and must NOT be flagged.
+#include <cstdint>
+#include <vector>
+
+namespace fixture {
+
+class Policy
+{
+  public:
+    void
+    reset()
+    {
+        history_.push_back(0); // cold: setup path
+    }
+
+    std::uint32_t
+    victimWay(std::uint64_t set)
+    {
+        history_.push_back(set); // hot: must be flagged
+        return 0;
+    }
+
+  private:
+    std::vector<std::uint64_t> history_;
+};
+
+} // namespace fixture

@@ -1,0 +1,10 @@
+// Fixture: exactly one include-hygiene finding (parent-relative
+// include). The repo-root-relative include below is the fixed form.
+#include "../cachesim/cache.hh"
+#include "cachesim/cache_config.hh"
+
+int
+fixture()
+{
+    return 1;
+}

@@ -1,0 +1,10 @@
+// Fixture: exactly one json-outside-obs finding (the escaped-quote
+// literal). The plain string below it carries no quotes and is fine.
+#include <cstdio>
+
+void
+emit(double value)
+{
+    std::printf("{\"value\": %f}\n", value); // must be flagged
+    std::printf("value: %f\n", value);       // fine
+}

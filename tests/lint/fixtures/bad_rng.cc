@@ -1,0 +1,11 @@
+// Fixture: exactly one unseeded-rng finding (mt19937). The word
+// "random" in this comment and the identifier below are fine.
+#include <random>
+
+int
+roll()
+{
+    std::mt19937 gen; // must be flagged: default-seeded engine
+    int not_random_at_all = 4;
+    return static_cast<int>(gen() % 6) + not_random_at_all;
+}

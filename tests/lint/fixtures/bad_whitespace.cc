@@ -1,0 +1,4 @@
+// Fixture: exactly one whitespace finding (the trailing space two
+// lines down) and a mechanical --fix that removes it.
+int fixture_ws = 1; 
+int fixture_ok = 2;

@@ -1,0 +1,39 @@
+// Fixture: linted as src/cachesim/clean.cc — a hot-path file that
+// follows every rule. Must produce zero findings.
+//
+// The comment mentions rand() and push_back to prove the tokenizer
+// strips comments before matching.
+#include <cstdint>
+#include <vector>
+
+namespace fixture {
+
+class CleanPolicy
+{
+  public:
+    CleanPolicy()
+    {
+        // Constructors are cold: allocation is fine here.
+        stamps_.resize(64);
+    }
+
+    void
+    reset()
+    {
+        stamps_.assign(64, 0); // cold by name
+    }
+
+    std::uint32_t
+    victimWay(std::uint64_t set) noexcept
+    {
+        // Hot path: reads and arithmetic only. reserve() is not
+        // growth and would be fine too.
+        std::uint64_t best = stamps_[set % stamps_.size()];
+        return static_cast<std::uint32_t>(best & 0xF);
+    }
+
+  private:
+    std::vector<std::uint64_t> stamps_;
+};
+
+} // namespace fixture

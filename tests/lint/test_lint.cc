@@ -1,0 +1,206 @@
+/**
+ * @file
+ * Self-test for tools/glider_lint: each bad fixture must trigger its
+ * rule exactly once, the clean fixture must pass every rule, the
+ * escape hatches must silence findings, and the mechanical --fix
+ * must converge (fixed files re-lint clean).
+ *
+ * The binary under test and the fixture directory arrive via compile
+ * definitions (GLIDER_LINT_BIN / GLIDER_LINT_FIXTURES) so the test
+ * works from any build directory.
+ */
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+namespace {
+
+struct LintRun
+{
+    int exit_code = -1;
+    std::string output;
+
+    /** Number of findings for @p rule (lines containing "[rule]"). */
+    int
+    count(const std::string &rule) const
+    {
+        std::string needle = "[" + rule + "]";
+        int n = 0;
+        std::size_t at = 0;
+        while ((at = output.find(needle, at)) != std::string::npos) {
+            ++n;
+            at += needle.size();
+        }
+        return n;
+    }
+};
+
+LintRun
+runLint(const std::string &args)
+{
+    // Built with += : GCC 12's -Wrestrict misfires on chained
+    // std::string operator+ here.
+    std::string cmd = GLIDER_LINT_BIN;
+    cmd += ' ';
+    cmd += args;
+    cmd += " 2>&1";
+    LintRun run;
+    FILE *pipe = popen(cmd.c_str(), "r");
+    if (!pipe)
+        return run;
+    std::array<char, 4096> buf;
+    std::size_t n;
+    while ((n = fread(buf.data(), 1, buf.size(), pipe)) > 0)
+        run.output.append(buf.data(), n);
+    int status = pclose(pipe);
+    run.exit_code = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+    return run;
+}
+
+std::string
+fixture(const std::string &name)
+{
+    return std::string(GLIDER_LINT_FIXTURES) + "/" + name;
+}
+
+/** One bad fixture: (file, rule it must trigger, treat-as path). */
+struct BadCase
+{
+    const char *file;
+    const char *rule;
+    const char *treat_as;
+};
+
+const BadCase kBadCases[] = {
+    {"bad_hotpath_alloc.cc", "hotpath-alloc",
+     "src/cachesim/bad_hotpath_alloc.cc"},
+    {"bad_json.cc", "json-outside-obs", nullptr},
+    {"bad_bench_report.cc", "bench-report",
+     "bench/bad_bench_report.cc"},
+    {"bad_rng.cc", "unseeded-rng", nullptr},
+    {"bad_header_guard.hh", "header-guard",
+     "src/cachesim/bad_header_guard.hh"},
+    {"bad_include.cc", "include-hygiene", nullptr},
+    {"bad_whitespace.cc", "whitespace", nullptr},
+};
+
+class BadFixture : public ::testing::TestWithParam<BadCase>
+{
+};
+
+TEST_P(BadFixture, TriggersItsRuleExactlyOnce)
+{
+    const BadCase &c = GetParam();
+    std::string args = "--rule ";
+    args += c.rule;
+    if (c.treat_as) {
+        args += " --treat-as ";
+        args += c.treat_as;
+    }
+    args += ' ';
+    args += fixture(c.file);
+    LintRun run = runLint(args);
+    EXPECT_EQ(run.exit_code, 1) << run.output;
+    EXPECT_EQ(run.count(c.rule), 1) << run.output;
+}
+
+INSTANTIATE_TEST_SUITE_P(GliderLint, BadFixture,
+                         ::testing::ValuesIn(kBadCases),
+                         [](const auto &row) {
+                             std::string n = row.param.rule;
+                             for (auto &ch : n) {
+                                 if (ch == '-')
+                                     ch = '_';
+                             }
+                             return n;
+                         });
+
+TEST(GliderLint, CleanFixturePassesAllRules)
+{
+    LintRun run = runLint("--treat-as src/cachesim/clean.cc "
+                          + fixture("clean.cc"));
+    EXPECT_EQ(run.exit_code, 0) << run.output;
+    EXPECT_TRUE(run.output.empty()) << run.output;
+}
+
+TEST(GliderLint, EscapeHatchesSilenceEveryFinding)
+{
+    LintRun run = runLint("--treat-as src/cachesim/allowed.cc "
+                          + fixture("allowed.cc"));
+    EXPECT_EQ(run.exit_code, 0) << run.output;
+    EXPECT_TRUE(run.output.empty()) << run.output;
+}
+
+TEST(GliderLint, ListRulesNamesTheCatalogue)
+{
+    LintRun run = runLint("--list-rules");
+    EXPECT_EQ(run.exit_code, 0);
+    for (const char *rule :
+         {"hotpath-alloc", "json-outside-obs", "bench-report",
+          "unseeded-rng", "header-guard", "include-hygiene",
+          "whitespace"}) {
+        EXPECT_NE(run.output.find(rule), std::string::npos) << rule;
+    }
+}
+
+TEST(GliderLint, UnknownRuleIsAUsageError)
+{
+    LintRun run = runLint("--rule no-such-rule");
+    EXPECT_EQ(run.exit_code, 2) << run.output;
+}
+
+TEST(GliderLint, DiffShowsTheMechanicalFix)
+{
+    LintRun run = runLint("--diff --rule whitespace "
+                          + fixture("bad_whitespace.cc"));
+    // --diff prints the patch; findings on the unfixed file remain.
+    EXPECT_NE(run.output.find("+++"), std::string::npos) << run.output;
+    EXPECT_NE(run.output.find("-int fixture_ws = 1; "),
+              std::string::npos)
+        << run.output;
+}
+
+TEST(GliderLint, FixConvergesAndRelintsClean)
+{
+    // Copy the fixtures into a scratch dir so --fix can write.
+    std::string dir = ::testing::TempDir() + "glider_lint_fix";
+    std::string ws = dir + "/bad_whitespace.cc";
+    std::string guard = dir + "/bad_header_guard.hh";
+    ASSERT_EQ(std::system(("mkdir -p " + dir).c_str()), 0);
+    for (const char *name :
+         {"bad_whitespace.cc", "bad_header_guard.hh"}) {
+        std::ifstream in(fixture(name), std::ios::binary);
+        std::ofstream out(dir + "/" + name, std::ios::binary);
+        out << in.rdbuf();
+        ASSERT_TRUE(out.good());
+    }
+
+    LintRun fix_ws = runLint("--fix --rule whitespace " + ws);
+    EXPECT_EQ(fix_ws.exit_code, 0) << fix_ws.output;
+    LintRun relint_ws = runLint("--rule whitespace " + ws);
+    EXPECT_EQ(relint_ws.exit_code, 0) << relint_ws.output;
+
+    // The guard fixture must be re-linted under the same treat-as
+    // path it was fixed under, where the rewritten guard is canonical.
+    std::string treat = "--treat-as src/cachesim/bad_header_guard.hh ";
+    LintRun fix_g = runLint("--fix --rule header-guard " + treat
+                            + guard);
+    EXPECT_EQ(fix_g.exit_code, 0) << fix_g.output;
+    LintRun relint_g = runLint("--rule header-guard " + treat + guard);
+    EXPECT_EQ(relint_g.exit_code, 0) << relint_g.output;
+    std::ifstream fixed(guard);
+    std::stringstream buf;
+    buf << fixed.rdbuf();
+    EXPECT_NE(
+        buf.str().find("#ifndef GLIDER_CACHESIM_BAD_HEADER_GUARD_HH"),
+        std::string::npos)
+        << buf.str();
+}
+
+} // namespace

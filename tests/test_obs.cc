@@ -6,6 +6,10 @@
  * part of the TSan CI filter), the bench-report document, the
  * bench_diff comparator (including an injected >10% regression), and
  * the oracle suite JSON round-trip.
+ *
+ * glider-lint: allow-file(json-outside-obs) hand-written JSON
+ * literals here are inputs and expected outputs for the serializer
+ * under test.
  */
 
 #include <algorithm>

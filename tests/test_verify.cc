@@ -61,7 +61,8 @@ class OutOfRangePolicy : public policies::LruPolicy
   public:
     std::string name() const override { return "OutOfRange"; }
     std::uint32_t
-    victimWay(const sim::ReplacementAccess &, sim::SetView lines) override
+    victimWay(const sim::ReplacementAccess &, sim::SetView lines)
+        noexcept override
     {
         return lines.ways + 3; // beyond even the bypass sentinel
     }
@@ -72,7 +73,8 @@ class StuckAtZeroPolicy : public policies::LruPolicy
 {
   public:
     std::uint32_t
-    victimWay(const sim::ReplacementAccess &, sim::SetView) override
+    victimWay(const sim::ReplacementAccess &, sim::SetView)
+        noexcept override
     {
         return 0;
     }

@@ -1,0 +1,1266 @@
+/**
+ * @file
+ * glider_lint: repo-specific static analysis for the Glider codebase.
+ *
+ * The perf harness (PR 1), the invariant layer (PR 2), and the
+ * metrics gate (PR 3) all enforce their rules at *runtime*. This tool
+ * turns the implicit repo conventions those layers rely on into
+ * compile-time-adjacent checks that run in seconds, with no libclang
+ * dependency: a light C++ tokenizer plus a scope tracker good enough
+ * for this codebase's style.
+ *
+ * Rules (ids as printed and as accepted by allow() directives):
+ *
+ *   hotpath-alloc   No heap allocation or container growth inside hot
+ *                   functions of the simulator hot-path directories
+ *                   (src/cachesim, src/policies, src/opt). Functions
+ *                   named reset, exportMetrics, clearStats,
+ *                   clearStatsCounters or clearCounters, plus
+ *                   constructors and destructors, are cold.
+ *   json-outside-obs
+ *                   No hand-rolled JSON: string/char literals with
+ *                   embedded quotes outside src/obs (obs::json is the
+ *                   one serializer in the repo).
+ *   bench-report    Every bench .cc binary must emit a machine-
+ *                   readable artifact via bench::makeReport or
+ *                   obs::BenchReport.
+ *   unseeded-rng    No std::rand/random_device/mt19937/...; all
+ *                   randomness flows through common/rng.hh's
+ *                   explicitly seeded Rng.
+ *   header-guard    .hh files carry the canonical include guard
+ *                   derived from their path (mechanical; --fix).
+ *   include-hygiene No parent-relative ("../") includes, no bits/
+ *                   internals, no using-namespace in headers.
+ *   whitespace      No trailing whitespace, no tabs, files end with
+ *                   exactly one newline (mechanical; --fix).
+ *
+ * Escape hatches, checked per finding:
+ *   // glider-lint: allow(rule-id[, rule-id...]) <reason>
+ *     on the offending line or the line directly above it.
+ *   // glider-lint: allow-file(rule-id) <reason>
+ *     anywhere in the file disables the rule for the whole file.
+ *
+ * Usage:
+ *   glider_lint [--root DIR] [--rule ID]... [--treat-as RELPATH]
+ *               [--fix | --diff] [--list-rules] [PATH...]
+ * With no PATH arguments the default tree (src bench tools tests
+ * examples under --root) is scanned; build trees and the lint
+ * fixture corpus under tests/lint/fixtures are always skipped.
+ * Exit status: 0 clean, 1 findings, 2 usage/IO.
+ *
+ * glider-lint: allow-file(json-outside-obs) the linter's own rule
+ * implementations and raw-string handling spell out escaped-quote
+ * literals.
+ */
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <optional>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace fs = std::filesystem;
+
+namespace {
+
+// ---------------------------------------------------------------- tokens
+
+struct Token
+{
+    enum class Kind { Ident, Punct, String, CharLit, Number, Pp };
+    Kind kind = Kind::Punct;
+    std::string text; //!< raw text; literals keep escapes unprocessed
+    int line = 0;
+};
+
+/** Per-file lint context: source, tokens, and allow() directives. */
+struct FileCtx
+{
+    std::string rel;     //!< repo-relative path with '/' separators
+    std::string content; //!< raw bytes
+    std::vector<std::string> lines; //!< content split at '\n'
+    std::vector<Token> toks;        //!< comments stripped
+    std::map<int, std::set<std::string>> line_allows;
+    std::set<std::string> file_allows;
+    std::set<int> code_lines; //!< lines carrying at least one token
+};
+
+struct Finding
+{
+    std::string file;
+    int line = 0;
+    std::string rule;
+    std::string msg;
+};
+
+/**
+ * Parse every "allow(a, b)" / "allow-file(a)" out of one comment (a
+ * block comment may hold several directives). Rule names that are
+ * not plain kebab-case idents are ignored, so prose *describing* the
+ * directive syntax never registers a hatch.
+ */
+void
+parseDirective(const std::string &comment, int line, FileCtx &ctx)
+{
+    std::size_t at = 0;
+    while ((at = comment.find("glider-lint:", at))
+           != std::string::npos) {
+        at += std::strlen("glider-lint:");
+        std::size_t open = comment.find('(', at);
+        if (open == std::string::npos)
+            return;
+        std::size_t kw = comment.find_first_not_of(" \t", at);
+        std::string keyword = comment.substr(kw, open - kw);
+        bool file_wide = keyword == "allow-file";
+        if (!file_wide && keyword != "allow")
+            continue;
+        std::size_t close = comment.find(')', open);
+        if (close == std::string::npos)
+            return;
+        std::string list = comment.substr(open + 1, close - open - 1);
+        std::stringstream ss(list);
+        std::string rule;
+        while (std::getline(ss, rule, ',')) {
+            rule.erase(0, rule.find_first_not_of(" \t"));
+            rule.erase(rule.find_last_not_of(" \t") + 1);
+            bool ident = !rule.empty();
+            for (char c : rule) {
+                if (!std::isalnum(static_cast<unsigned char>(c))
+                    && c != '-')
+                    ident = false;
+            }
+            if (!ident)
+                continue;
+            if (file_wide)
+                ctx.file_allows.insert(rule);
+            else
+                ctx.line_allows[line].insert(rule);
+        }
+        at = close;
+    }
+}
+
+bool
+identChar(char c)
+{
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+/** Tokenize ctx.content into ctx.toks, collecting directives. */
+void
+tokenize(FileCtx &ctx)
+{
+    const std::string &s = ctx.content;
+    std::size_t i = 0;
+    int line = 1;
+    auto advance = [&](std::size_t to) {
+        for (; i < to && i < s.size(); ++i) {
+            if (s[i] == '\n')
+                ++line;
+        }
+    };
+    while (i < s.size()) {
+        char c = s[i];
+        if (c == '\n') {
+            ++line;
+            ++i;
+            continue;
+        }
+        if (std::isspace(static_cast<unsigned char>(c))) {
+            ++i;
+            continue;
+        }
+        // Line comment.
+        if (c == '/' && i + 1 < s.size() && s[i + 1] == '/') {
+            std::size_t end = s.find('\n', i);
+            if (end == std::string::npos)
+                end = s.size();
+            parseDirective(s.substr(i, end - i), line, ctx);
+            i = end;
+            continue;
+        }
+        // Block comment (directives attach to its last line).
+        if (c == '/' && i + 1 < s.size() && s[i + 1] == '*') {
+            std::size_t end = s.find("*/", i + 2);
+            if (end == std::string::npos)
+                end = s.size();
+            else
+                end += 2;
+            std::string body = s.substr(i, end - i);
+            int end_line = line;
+            for (char b : body) {
+                if (b == '\n')
+                    ++end_line;
+            }
+            parseDirective(body, end_line, ctx);
+            advance(end);
+            continue;
+        }
+        // Preprocessor directive: one token per logical line.
+        if (c == '#'
+            && (ctx.toks.empty() || ctx.toks.back().line != line)) {
+            int start_line = line;
+            std::size_t end = i;
+            for (;;) {
+                std::size_t nl = s.find('\n', end);
+                if (nl == std::string::npos) {
+                    end = s.size();
+                    break;
+                }
+                // Continuation line: keep consuming.
+                std::size_t back = nl;
+                while (back > end && (s[back - 1] == '\r'))
+                    --back;
+                if (back > end && s[back - 1] == '\\') {
+                    end = nl + 1;
+                    continue;
+                }
+                end = nl;
+                break;
+            }
+            std::string text = s.substr(i, end - i);
+            // Strip a trailing line comment from the directive text.
+            std::size_t cmt = text.find("//");
+            std::string raw = text;
+            (void)cmt;
+            ctx.toks.push_back({Token::Kind::Pp, raw, start_line});
+            advance(end);
+            continue;
+        }
+        // Raw string literal (minimal: R"delim(...)delim").
+        if (c == 'R' && i + 1 < s.size() && s[i + 1] == '"') {
+            std::size_t open = s.find('(', i + 2);
+            if (open != std::string::npos) {
+                std::string delim = s.substr(i + 2, open - (i + 2));
+                std::string closer = ")" + delim + "\"";
+                std::size_t end = s.find(closer, open + 1);
+                if (end == std::string::npos)
+                    end = s.size();
+                else
+                    end += closer.size();
+                ctx.toks.push_back({Token::Kind::String,
+                                    s.substr(i, end - i), line});
+                advance(end);
+                continue;
+            }
+        }
+        if (c == '"' || c == '\'') {
+            char quote = c;
+            std::size_t j = i + 1;
+            while (j < s.size() && s[j] != quote) {
+                if (s[j] == '\\')
+                    ++j;
+                ++j;
+            }
+            std::size_t end = j < s.size() ? j + 1 : s.size();
+            ctx.toks.push_back({quote == '"' ? Token::Kind::String
+                                             : Token::Kind::CharLit,
+                                s.substr(i + 1, end - i - 2), line});
+            advance(end);
+            continue;
+        }
+        if (identChar(c) && !std::isdigit(static_cast<unsigned char>(c))) {
+            std::size_t j = i;
+            while (j < s.size() && identChar(s[j]))
+                ++j;
+            ctx.toks.push_back({Token::Kind::Ident, s.substr(i, j - i),
+                                line});
+            i = j;
+            continue;
+        }
+        if (std::isdigit(static_cast<unsigned char>(c))) {
+            std::size_t j = i;
+            while (j < s.size()
+                   && (identChar(s[j]) || s[j] == '.' || s[j] == '\''))
+                ++j;
+            ctx.toks.push_back({Token::Kind::Number, s.substr(i, j - i),
+                                line});
+            i = j;
+            continue;
+        }
+        // Multi-char operators the scope tracker needs as units.
+        if (c == ':' && i + 1 < s.size() && s[i + 1] == ':') {
+            ctx.toks.push_back({Token::Kind::Punct, "::", line});
+            i += 2;
+            continue;
+        }
+        if (c == '-' && i + 1 < s.size() && s[i + 1] == '>') {
+            ctx.toks.push_back({Token::Kind::Punct, "->", line});
+            i += 2;
+            continue;
+        }
+        ctx.toks.push_back({Token::Kind::Punct, std::string(1, c),
+                            line});
+        ++i;
+    }
+    for (const Token &t : ctx.toks)
+        ctx.code_lines.insert(t.line);
+}
+
+// ------------------------------------------------------------- reporting
+
+bool
+allowed(const FileCtx &ctx, const std::string &rule, int line)
+{
+    if (ctx.file_allows.count(rule))
+        return true;
+    auto hit = [&](int l) {
+        auto it = ctx.line_allows.find(l);
+        return it != ctx.line_allows.end() && it->second.count(rule);
+    };
+    if (hit(line))
+        return true;
+    // A directive in the comment block directly above the offending
+    // line covers it: walk up through lines that carry no code
+    // tokens (comments, blanks); the first code line breaks the
+    // chain so a hatch never leaks past the statement it annotates.
+    for (int l = line - 1; l >= 1; --l) {
+        if (hit(l))
+            return true;
+        if (ctx.code_lines.count(l))
+            break;
+    }
+    return false;
+}
+
+void
+report(std::vector<Finding> &out, const FileCtx &ctx,
+       const std::string &rule, int line, std::string msg)
+{
+    if (allowed(ctx, rule, line))
+        return;
+    out.push_back({ctx.rel, line, rule, std::move(msg)});
+}
+
+// --------------------------------------------------------- scope tracker
+
+/**
+ * Tracks namespace/class/function/block scopes over the token stream,
+ * tuned to this repo's style. Good enough to know, at any token, the
+ * innermost enclosing function and whether it is a designated
+ * cold-path function (setup/teardown/telemetry).
+ */
+class ScopeTracker
+{
+  public:
+    struct Scope
+    {
+        enum class Kind { Namespace, Class, Function, Block };
+        Kind kind;
+        std::string name;
+        bool cold = false;
+    };
+
+    explicit ScopeTracker(const std::vector<Token> &toks) : toks_(toks)
+    {
+    }
+
+    /** Feed token @p i; call once per token, in order. */
+    void
+    step(std::size_t i)
+    {
+        const Token &t = toks_[i];
+        if (t.kind == Token::Kind::Pp)
+            return;
+        bool structural = innermostIsTypeScope();
+        if (structural)
+            pendingStep(i);
+        if (t.kind == Token::Kind::Punct && t.text == "{") {
+            openBrace(i, structural);
+            return;
+        }
+        if (t.kind == Token::Kind::Punct && t.text == "}") {
+            if (init_brace_ > 0) {
+                --init_brace_;
+                return;
+            }
+            if (!stack_.empty())
+                stack_.pop_back();
+            return;
+        }
+    }
+
+    /** Innermost enclosing function, or nullptr at type/ns scope. */
+    const Scope *
+    enclosingFunction() const
+    {
+        for (auto it = stack_.rbegin(); it != stack_.rend(); ++it) {
+            if (it->kind == Scope::Kind::Function)
+                return &*it;
+        }
+        return nullptr;
+    }
+
+  private:
+    enum class Pending { None, InParams, AfterParams, CtorInit };
+
+    bool
+    innermostIsTypeScope() const
+    {
+        if (init_brace_ > 0)
+            return false;
+        if (stack_.empty())
+            return true;
+        Scope::Kind k = stack_.back().kind;
+        return k == Scope::Kind::Namespace || k == Scope::Kind::Class;
+    }
+
+    static bool
+    isKeyword(const std::string &s)
+    {
+        static const std::set<std::string> kw = {
+            "if",     "for",   "while",  "switch", "catch",
+            "return", "sizeof", "alignof", "static_assert",
+            "decltype", "noexcept", "alignas"};
+        return kw.count(s) != 0;
+    }
+
+    /** Collect a qualified name ending at token @p i (an Ident). */
+    std::string
+    qualifiedNameEndingAt(std::size_t i) const
+    {
+        std::string name = toks_[i].text;
+        std::size_t j = i;
+        // ~Dtor
+        if (j > 0 && toks_[j - 1].text == "~")
+            name = "~" + name;
+        while (j >= 2 && toks_[j - 1].text == "::"
+               && toks_[j - 2].kind == Token::Kind::Ident) {
+            name = toks_[j - 2].text + "::" + name;
+            j -= 2;
+        }
+        return name;
+    }
+
+    /** Function-definition detection at namespace/class scope. */
+    void
+    pendingStep(std::size_t i)
+    {
+        const Token &t = toks_[i];
+        switch (pending_) {
+          case Pending::None:
+            if (t.text == "(" && i > 0) {
+                const Token &p = toks_[i - 1];
+                if (p.kind == Token::Kind::Ident && !isKeyword(p.text)) {
+                    pending_name_ = qualifiedNameEndingAt(i - 1);
+                    pending_ = Pending::InParams;
+                    paren_depth_ = 1;
+                } else if (p.text == "]") {
+                    // operator[] definition.
+                    if (i >= 3 && toks_[i - 3].text == "operator") {
+                        pending_name_ = "operator[]";
+                        pending_ = Pending::InParams;
+                        paren_depth_ = 1;
+                    }
+                } else if (p.text == "operator") {
+                    // operator()(params): this '(' is part of the
+                    // name; the parameter list is scanned by the
+                    // AfterParams paren-skipping below.
+                    pending_name_ = "operator()";
+                    pending_ = Pending::InParams;
+                    paren_depth_ = 1;
+                }
+            }
+            break;
+          case Pending::InParams:
+            if (t.text == "(")
+                ++paren_depth_;
+            else if (t.text == ")" && --paren_depth_ == 0)
+                pending_ = Pending::AfterParams;
+            break;
+          case Pending::AfterParams:
+            if (t.text == "(") {
+                ++after_parens_;
+            } else if (t.text == ")") {
+                if (after_parens_ > 0)
+                    --after_parens_;
+            } else if (after_parens_ == 0) {
+                if (t.text == ";" || t.text == "=")
+                    pending_ = Pending::None;
+                else if (t.text == ":")
+                    pending_ = Pending::CtorInit;
+                // "{" handled by openBrace(); other tokens (const,
+                // noexcept, override, ->, type names) keep waiting.
+            }
+            break;
+          case Pending::CtorInit:
+            if (t.text == "(")
+                ++init_paren_;
+            else if (t.text == ")" && init_paren_ > 0)
+                --init_paren_;
+            // Braces are resolved in openBrace()/step("}").
+            break;
+        }
+    }
+
+    void
+    openBrace(std::size_t i, bool structural)
+    {
+        if (!structural) {
+            if (init_brace_ > 0)
+                ++init_brace_;
+            else
+                stack_.push_back({Scope::Kind::Block, "", false});
+            return;
+        }
+        if (pending_ == Pending::AfterParams && after_parens_ == 0) {
+            pushFunction();
+            return;
+        }
+        if (pending_ == Pending::CtorInit && init_paren_ == 0) {
+            // `Member{...}` brace-init vs the constructor body: the
+            // body brace follows ')', '}' or the init-list comma
+            // context; a brace directly after an identifier or
+            // template-close is a member initializer.
+            const std::string &p = i > 0 ? toks_[i - 1].text : "";
+            bool member_init = i > 0
+                && (toks_[i - 1].kind == Token::Kind::Ident
+                    || p == ">");
+            if (member_init) {
+                ++init_brace_;
+                return;
+            }
+            pushFunction();
+            return;
+        }
+        // Not a function body: namespace / class / aggregate.
+        classifyTypeBrace(i);
+    }
+
+    void
+    pushFunction()
+    {
+        std::string last = pending_name_;
+        std::string outer;
+        std::size_t pos = last.rfind("::");
+        if (pos != std::string::npos) {
+            outer = last.substr(0, pos);
+            std::size_t p2 = outer.rfind("::");
+            if (p2 != std::string::npos)
+                outer = outer.substr(p2 + 2);
+            last = last.substr(pos + 2);
+        } else if (!stack_.empty()
+                   && stack_.back().kind == Scope::Kind::Class) {
+            outer = stack_.back().name;
+        }
+        static const std::set<std::string> cold_names = {
+            "reset",         "exportMetrics", "clearStats",
+            "clearStatsCounters", "clearCounters"};
+        bool cold = cold_names.count(last) != 0 || last == outer
+            || (!last.empty() && last[0] == '~');
+        stack_.push_back({Scope::Kind::Function, last, cold});
+        pending_ = Pending::None;
+        after_parens_ = 0;
+        init_paren_ = 0;
+    }
+
+    void
+    classifyTypeBrace(std::size_t i)
+    {
+        // Scan back to the previous structural boundary.
+        std::size_t j = i;
+        std::size_t limit = i > 64 ? i - 64 : 0;
+        std::size_t type_kw = SIZE_MAX;
+        bool saw_paren = false;
+        bool saw_namespace = false;
+        while (j > limit) {
+            --j;
+            const std::string &x = toks_[j].text;
+            if (x == ";" || x == "}" || x == "{")
+                break;
+            if (x == "(" || x == ")")
+                saw_paren = true;
+            if (toks_[j].kind == Token::Kind::Ident) {
+                if (x == "namespace") {
+                    saw_namespace = true;
+                    type_kw = j;
+                    break;
+                }
+                if (x == "class" || x == "struct" || x == "union"
+                    || x == "enum") {
+                    type_kw = j;
+                }
+            }
+        }
+        if (saw_namespace) {
+            std::string name;
+            if (type_kw + 1 < i
+                && toks_[type_kw + 1].kind == Token::Kind::Ident)
+                name = toks_[type_kw + 1].text;
+            stack_.push_back({Scope::Kind::Namespace, name, false});
+            return;
+        }
+        if (type_kw != SIZE_MAX && !saw_paren) {
+            std::size_t n = type_kw + 1;
+            while (n < i
+                   && (toks_[n].text == "class"
+                       || toks_[n].text == "struct"
+                       || toks_[n].kind != Token::Kind::Ident))
+                ++n;
+            std::string name =
+                n < i && toks_[n].kind == Token::Kind::Ident
+                    ? toks_[n].text
+                    : "";
+            stack_.push_back({Scope::Kind::Class, name, false});
+            return;
+        }
+        // Aggregate initializer or unrecognized: treat as a block so
+        // brace matching stays balanced.
+        stack_.push_back({Scope::Kind::Block, "", false});
+    }
+
+    const std::vector<Token> &toks_;
+    std::vector<Scope> stack_;
+    Pending pending_ = Pending::None;
+    std::string pending_name_;
+    int paren_depth_ = 0;
+    int after_parens_ = 0;
+    int init_paren_ = 0;
+    int init_brace_ = 0;
+};
+
+// ----------------------------------------------------------------- rules
+
+bool
+startsWith(const std::string &s, const char *prefix)
+{
+    return s.rfind(prefix, 0) == 0;
+}
+
+bool
+endsWith(const std::string &s, const char *suffix)
+{
+    std::size_t n = std::strlen(suffix);
+    return s.size() >= n && s.compare(s.size() - n, n, suffix) == 0;
+}
+
+bool
+isHotPathFile(const std::string &rel)
+{
+    return startsWith(rel, "src/cachesim/")
+        || startsWith(rel, "src/policies/")
+        || startsWith(rel, "src/opt/");
+}
+
+void
+ruleHotpathAlloc(const FileCtx &ctx, std::vector<Finding> &out)
+{
+    if (!isHotPathFile(ctx.rel))
+        return;
+    static const std::set<std::string> alloc_fns = {
+        "malloc", "calloc", "realloc", "strdup", "aligned_alloc"};
+    static const std::set<std::string> smart_ptr = {"make_unique",
+                                                    "make_shared"};
+    static const std::set<std::string> growth = {
+        "push_back", "emplace_back", "push_front", "emplace_front",
+        "resize",    "assign",       "insert",     "emplace",
+        "append"};
+    ScopeTracker scopes(ctx.toks);
+    for (std::size_t i = 0; i < ctx.toks.size(); ++i) {
+        scopes.step(i);
+        const Token &t = ctx.toks[i];
+        if (t.kind != Token::Kind::Ident)
+            continue;
+        const ScopeTracker::Scope *fn = scopes.enclosingFunction();
+        if (!fn || fn->cold)
+            continue;
+        auto next_is_call = [&] {
+            return i + 1 < ctx.toks.size()
+                && ctx.toks[i + 1].text == "(";
+        };
+        auto is_member_call = [&] {
+            return i > 0
+                && (ctx.toks[i - 1].text == "."
+                    || ctx.toks[i - 1].text == "->")
+                && next_is_call();
+        };
+        std::string what;
+        if (t.text == "new"
+            && (i == 0 || ctx.toks[i - 1].text != "::")) {
+            what = "operator new";
+        } else if (alloc_fns.count(t.text) && next_is_call()) {
+            what = t.text + "()";
+        } else if (smart_ptr.count(t.text)) {
+            what = "std::" + t.text;
+        } else if (growth.count(t.text) && is_member_call()) {
+            what = "." + t.text + "() container growth";
+        }
+        if (what.empty())
+            continue;
+        report(out, ctx, "hotpath-alloc", t.line,
+               what + " in hot function '" + fn->name
+                   + "' — the simulator access/victim path must not "
+                     "allocate (reserve in reset() or annotate)");
+    }
+}
+
+void
+ruleJsonOutsideObs(const FileCtx &ctx, std::vector<Finding> &out)
+{
+    if (startsWith(ctx.rel, "src/obs/"))
+        return;
+    for (const Token &t : ctx.toks) {
+        if (t.kind == Token::Kind::String) {
+            if (t.text.find("\\\"") != std::string::npos) {
+                report(out, ctx, "json-outside-obs", t.line,
+                       "string literal with embedded quotes — build "
+                       "machine-readable output with obs::json, not "
+                       "by hand");
+            }
+        } else if (t.kind == Token::Kind::CharLit && t.text == "\\\"") {
+            report(out, ctx, "json-outside-obs", t.line,
+                   "quote character literal printed directly — use "
+                   "obs::json for quoted output");
+        }
+    }
+}
+
+void
+ruleBenchReport(const FileCtx &ctx, std::vector<Finding> &out)
+{
+    if (!startsWith(ctx.rel, "bench/") || !endsWith(ctx.rel, ".cc"))
+        return;
+    int main_line = 0;
+    bool has_report = false;
+    for (const Token &t : ctx.toks) {
+        if (t.kind != Token::Kind::Ident)
+            continue;
+        if (t.text == "main" && main_line == 0)
+            main_line = t.line;
+        if (t.text == "makeReport" || t.text == "BenchReport")
+            has_report = true;
+    }
+    if (main_line != 0 && !has_report) {
+        report(out, ctx, "bench-report", main_line,
+               "bench binary never builds a BenchReport — every "
+               "harness must emit BENCH_<name>.json via "
+               "bench::makeReport");
+    }
+}
+
+void
+ruleUnseededRng(const FileCtx &ctx, std::vector<Finding> &out)
+{
+    if (ctx.rel == "src/common/rng.hh")
+        return;
+    static const std::set<std::string> banned = {
+        "rand",          "srand",        "rand_r",
+        "drand48",       "lrand48",      "mrand48",
+        "random_device", "mt19937",      "mt19937_64",
+        "minstd_rand",   "minstd_rand0", "default_random_engine",
+        "knuth_b",       "ranlux24",     "ranlux48",
+        "random_shuffle"};
+    for (const Token &t : ctx.toks) {
+        if (t.kind == Token::Kind::Ident && banned.count(t.text)) {
+            report(out, ctx, "unseeded-rng", t.line,
+                   "'" + t.text
+                       + "' — all randomness must flow through the "
+                         "explicitly seeded glider::Rng "
+                         "(common/rng.hh) for reproducibility");
+        }
+    }
+}
+
+/** Canonical guard name for a header path. */
+std::string
+expectedGuard(std::string rel)
+{
+    if (startsWith(rel, "src/"))
+        rel = rel.substr(4);
+    std::string g = "GLIDER_";
+    for (char c : rel) {
+        if (std::isalnum(static_cast<unsigned char>(c)))
+            g += static_cast<char>(
+                std::toupper(static_cast<unsigned char>(c)));
+        else
+            g += '_';
+    }
+    return g;
+}
+
+/** The three guard directives of a header, if present. */
+struct GuardLines
+{
+    int ifndef_line = 0, define_line = 0, endif_line = 0;
+    std::string ifndef_text, define_text, endif_text;
+};
+
+GuardLines
+findGuard(const FileCtx &ctx)
+{
+    GuardLines g;
+    for (const Token &t : ctx.toks) {
+        if (t.kind != Token::Kind::Pp)
+            continue;
+        if (g.ifndef_line == 0 && startsWith(t.text, "#ifndef")) {
+            g.ifndef_line = t.line;
+            g.ifndef_text = t.text;
+        } else if (g.ifndef_line != 0 && g.define_line == 0
+                   && startsWith(t.text, "#define")) {
+            g.define_line = t.line;
+            g.define_text = t.text;
+        }
+        if (startsWith(t.text, "#endif")) {
+            g.endif_line = t.line; // last one wins
+            g.endif_text = t.text;
+        }
+    }
+    return g;
+}
+
+void
+ruleHeaderGuard(const FileCtx &ctx, std::vector<Finding> &out)
+{
+    if (!endsWith(ctx.rel, ".hh") && !endsWith(ctx.rel, ".h"))
+        return;
+    std::string want = expectedGuard(ctx.rel);
+    GuardLines g = findGuard(ctx);
+    if (g.ifndef_line == 0 || g.define_line == 0
+        || g.endif_line == 0) {
+        report(out, ctx, "header-guard", 1,
+               "missing include guard; expected #ifndef " + want);
+        return;
+    }
+    auto second_word = [](const std::string &s) {
+        std::stringstream ss(s);
+        std::string a, b;
+        ss >> a >> b;
+        return b;
+    };
+    if (second_word(g.ifndef_text) != want
+        || second_word(g.define_text) != want) {
+        report(out, ctx, "header-guard", g.ifndef_line,
+               "include guard is '" + second_word(g.ifndef_text)
+                   + "', expected '" + want + "' (derived from path)");
+    } else if (g.endif_text.find("// " + want) == std::string::npos) {
+        report(out, ctx, "header-guard", g.endif_line,
+               "closing #endif should carry the guard comment '// "
+                   + want + "'");
+    }
+}
+
+/** Mechanical fix for header-guard: returns fixed content or none. */
+std::optional<std::string>
+fixHeaderGuard(const FileCtx &ctx)
+{
+    if (!endsWith(ctx.rel, ".hh") && !endsWith(ctx.rel, ".h"))
+        return std::nullopt;
+    std::string want = expectedGuard(ctx.rel);
+    GuardLines g = findGuard(ctx);
+    if (g.ifndef_line == 0 || g.define_line == 0 || g.endif_line == 0)
+        return std::nullopt; // structural surgery is not mechanical
+    std::vector<std::string> lines = ctx.lines;
+    auto set_line = [&](int ln, const std::string &text) {
+        if (ln >= 1 && ln <= static_cast<int>(lines.size()))
+            lines[static_cast<std::size_t>(ln - 1)] = text;
+    };
+    set_line(g.ifndef_line, "#ifndef " + want);
+    set_line(g.define_line, "#define " + want);
+    set_line(g.endif_line, "#endif // " + want);
+    std::string fixed;
+    for (const auto &l : lines)
+        fixed += l + "\n";
+    return fixed;
+}
+
+void
+ruleIncludeHygiene(const FileCtx &ctx, std::vector<Finding> &out)
+{
+    bool is_header = endsWith(ctx.rel, ".hh") || endsWith(ctx.rel, ".h");
+    for (std::size_t i = 0; i < ctx.toks.size(); ++i) {
+        const Token &t = ctx.toks[i];
+        if (t.kind == Token::Kind::Pp
+            && startsWith(t.text, "#include")) {
+            if (t.text.find("\"..") != std::string::npos) {
+                report(out, ctx, "include-hygiene", t.line,
+                       "parent-relative #include — include repo-root-"
+                       "relative paths (target include dirs cover "
+                       "src/)");
+            }
+            if (t.text.find("<bits/") != std::string::npos) {
+                report(out, ctx, "include-hygiene", t.line,
+                       "#include <bits/...> is libstdc++-internal "
+                       "and non-portable");
+            }
+        }
+        if (is_header && t.kind == Token::Kind::Ident
+            && t.text == "using" && i + 1 < ctx.toks.size()
+            && ctx.toks[i + 1].text == "namespace") {
+            report(out, ctx, "include-hygiene", t.line,
+                   "using-namespace in a header leaks into every "
+                   "includer");
+        }
+    }
+}
+
+void
+ruleWhitespace(const FileCtx &ctx, std::vector<Finding> &out)
+{
+    for (std::size_t i = 0; i < ctx.lines.size(); ++i) {
+        const std::string &l = ctx.lines[i];
+        int line = static_cast<int>(i) + 1;
+        if (!l.empty()
+            && (l.back() == ' ' || l.back() == '\t'
+                || l.back() == '\r')) {
+            report(out, ctx, "whitespace", line, "trailing whitespace");
+        }
+        if (l.find('\t') != std::string::npos)
+            report(out, ctx, "whitespace", line,
+                   "tab character (the tree is space-indented)");
+    }
+    if (!ctx.content.empty() && ctx.content.back() != '\n')
+        report(out, ctx, "whitespace",
+               static_cast<int>(ctx.lines.size()),
+               "file does not end with a newline");
+    if (ctx.content.size() >= 2
+        && ctx.content[ctx.content.size() - 1] == '\n'
+        && ctx.content[ctx.content.size() - 2] == '\n')
+        report(out, ctx, "whitespace",
+               static_cast<int>(ctx.lines.size()),
+               "multiple trailing newlines");
+}
+
+std::optional<std::string>
+fixWhitespace(const FileCtx &ctx)
+{
+    std::string fixed;
+    for (const std::string &raw : ctx.lines) {
+        std::string l = raw;
+        std::size_t end = l.find_last_not_of(" \t\r");
+        l = end == std::string::npos ? "" : l.substr(0, end + 1);
+        // Tabs inside the line become four spaces (alignment is the
+        // author's problem; the rule keeps tabs out of the tree).
+        std::string detabbed;
+        for (char c : l) {
+            if (c == '\t')
+                detabbed += "    ";
+            else
+                detabbed += c;
+        }
+        fixed += detabbed + "\n";
+    }
+    while (fixed.size() >= 2 && fixed[fixed.size() - 1] == '\n'
+           && fixed[fixed.size() - 2] == '\n')
+        fixed.pop_back();
+    if (fixed == ctx.content)
+        return std::nullopt;
+    return fixed;
+}
+
+// ---------------------------------------------------------------- driver
+
+const std::vector<std::string> kAllRules = {
+    "hotpath-alloc", "json-outside-obs", "bench-report",
+    "unseeded-rng",  "header-guard",     "include-hygiene",
+    "whitespace"};
+
+struct Options
+{
+    fs::path root = fs::current_path();
+    std::set<std::string> rules; //!< empty = all
+    std::vector<std::string> paths;
+    std::string treat_as; //!< lint single files under this rel path
+    bool fix = false;
+    bool diff = false;
+};
+
+bool
+ruleEnabled(const Options &opt, const std::string &rule)
+{
+    return opt.rules.empty() || opt.rules.count(rule) != 0;
+}
+
+void
+runRules(const Options &opt, const FileCtx &ctx,
+         std::vector<Finding> &out)
+{
+    if (ruleEnabled(opt, "hotpath-alloc"))
+        ruleHotpathAlloc(ctx, out);
+    if (ruleEnabled(opt, "json-outside-obs"))
+        ruleJsonOutsideObs(ctx, out);
+    if (ruleEnabled(opt, "bench-report"))
+        ruleBenchReport(ctx, out);
+    if (ruleEnabled(opt, "unseeded-rng"))
+        ruleUnseededRng(ctx, out);
+    if (ruleEnabled(opt, "header-guard"))
+        ruleHeaderGuard(ctx, out);
+    if (ruleEnabled(opt, "include-hygiene"))
+        ruleIncludeHygiene(ctx, out);
+    if (ruleEnabled(opt, "whitespace"))
+        ruleWhitespace(ctx, out);
+}
+
+/** Line-based diff between @p before and @p after (minimal hunks). */
+void
+printDiff(const std::string &rel, const std::string &before,
+          const std::string &after)
+{
+    auto split = [](const std::string &s) {
+        std::vector<std::string> lines;
+        std::stringstream ss(s);
+        std::string l;
+        while (std::getline(ss, l))
+            lines.push_back(l);
+        return lines;
+    };
+    std::vector<std::string> a = split(before), b = split(after);
+    std::printf("--- a/%s\n+++ b/%s\n", rel.c_str(), rel.c_str());
+    std::size_t i = 0, j = 0;
+    while (i < a.size() || j < b.size()) {
+        if (i < a.size() && j < b.size() && a[i] == b[j]) {
+            ++i;
+            ++j;
+            continue;
+        }
+        // Emit one minimal replace/delete/insert hunk: scan forward
+        // for the next resync point.
+        std::size_t ri = i, rj = j;
+        bool synced = false;
+        for (std::size_t look = 1; look < 50 && !synced; ++look) {
+            if (i + look <= a.size() && j + look <= b.size()) {
+                for (std::size_t di = 0; di <= look && !synced; ++di) {
+                    std::size_t dj = look - di;
+                    if (i + di < a.size() && j + dj < b.size()
+                        && a[i + di] == b[j + dj]) {
+                        ri = i + di;
+                        rj = j + dj;
+                        synced = true;
+                    }
+                }
+            }
+        }
+        if (!synced) {
+            ri = a.size();
+            rj = b.size();
+        }
+        std::printf("@@ -%zu +%zu @@\n", i + 1, j + 1);
+        for (; i < ri; ++i)
+            std::printf("-%s\n", a[i].c_str());
+        for (; j < rj; ++j)
+            std::printf("+%s\n", b[j].c_str());
+    }
+}
+
+/** Load, tokenize, lint one file; apply/print fixes when asked. */
+void
+lintFile(const Options &opt, const fs::path &abs,
+         const std::string &rel, std::vector<Finding> &findings,
+         int *fixed_files)
+{
+    std::ifstream in(abs, std::ios::binary);
+    if (!in) {
+        findings.push_back({rel, 0, "io", "cannot read file"});
+        return;
+    }
+    std::stringstream buf;
+    buf << in.rdbuf();
+    FileCtx ctx;
+    ctx.rel = rel;
+    ctx.content = buf.str();
+    std::stringstream ls(ctx.content);
+    std::string l;
+    while (std::getline(ls, l))
+        ctx.lines.push_back(l);
+    tokenize(ctx);
+
+    if (opt.fix || opt.diff) {
+        std::string current = ctx.content;
+        // Whitespace first so guard fixes land on clean lines.
+        for (int pass = 0; pass < 2; ++pass) {
+            FileCtx staged = ctx;
+            staged.content = current;
+            staged.lines.clear();
+            std::stringstream ss(current);
+            std::string line;
+            while (std::getline(ss, line))
+                staged.lines.push_back(line);
+            std::optional<std::string> next;
+            if (pass == 0 && ruleEnabled(opt, "whitespace"))
+                next = fixWhitespace(staged);
+            if (pass == 1 && ruleEnabled(opt, "header-guard")) {
+                tokenize(staged);
+                // Only rewrite when the rule actually fires.
+                std::vector<Finding> probe;
+                ruleHeaderGuard(staged, probe);
+                if (!probe.empty())
+                    next = fixHeaderGuard(staged);
+            }
+            if (next)
+                current = *next;
+        }
+        if (current != ctx.content) {
+            if (opt.diff) {
+                printDiff(rel, ctx.content, current);
+            } else {
+                std::ofstream outf(abs, std::ios::binary);
+                outf << current;
+                ++*fixed_files;
+            }
+            if (!opt.diff) {
+                // Re-lint the fixed content below.
+                ctx.content = current;
+                ctx.lines.clear();
+                std::stringstream ss(current);
+                std::string line;
+                while (std::getline(ss, line))
+                    ctx.lines.push_back(line);
+                ctx.toks.clear();
+                ctx.line_allows.clear();
+                ctx.file_allows.clear();
+                ctx.code_lines.clear();
+                tokenize(ctx);
+            }
+        }
+    }
+    runRules(opt, ctx, findings);
+}
+
+bool
+lintableExtension(const fs::path &p)
+{
+    std::string e = p.extension().string();
+    return e == ".cc" || e == ".hh" || e == ".cpp" || e == ".h";
+}
+
+bool
+skippedDir(const fs::path &p)
+{
+    std::string name = p.filename().string();
+    if (startsWith(name, "build"))
+        return true;
+    // The lint self-test corpus deliberately violates every rule.
+    return p.parent_path().filename() == "lint"
+        && name == "fixtures";
+}
+
+int
+usage()
+{
+    std::fprintf(
+        stderr,
+        "usage: glider_lint [--root DIR] [--rule ID]... "
+        "[--treat-as RELPATH] [--fix|--diff] [--list-rules] "
+        "[PATH...]\n");
+    return 2;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Options opt;
+    std::vector<std::string> args(argv + 1, argv + argc);
+    for (std::size_t i = 0; i < args.size(); ++i) {
+        const std::string &a = args[i];
+        if (a == "--root" && i + 1 < args.size()) {
+            opt.root = fs::path(args[++i]);
+        } else if (a == "--rule" && i + 1 < args.size()) {
+            std::string r = args[++i];
+            if (std::find(kAllRules.begin(), kAllRules.end(), r)
+                == kAllRules.end()) {
+                std::fprintf(stderr, "glider_lint: unknown rule '%s'\n",
+                             r.c_str());
+                return 2;
+            }
+            opt.rules.insert(r);
+        } else if (a == "--treat-as" && i + 1 < args.size()) {
+            opt.treat_as = args[++i];
+        } else if (a == "--fix") {
+            opt.fix = true;
+        } else if (a == "--diff") {
+            opt.diff = true;
+        } else if (a == "--list-rules") {
+            for (const auto &r : kAllRules)
+                std::printf("%s\n", r.c_str());
+            return 0;
+        } else if (a == "--help" || a == "-h") {
+            usage();
+            return 0;
+        } else if (startsWith(a, "--")) {
+            return usage();
+        } else {
+            opt.paths.push_back(a);
+        }
+    }
+    if (opt.fix && opt.diff) {
+        std::fprintf(stderr,
+                     "glider_lint: --fix and --diff are exclusive\n");
+        return 2;
+    }
+
+    if (opt.paths.empty())
+        opt.paths = {"src", "bench", "tools", "tests", "examples"};
+
+    std::vector<Finding> findings;
+    int fixed_files = 0;
+    std::size_t files_seen = 0;
+    for (const std::string &p : opt.paths) {
+        fs::path abs = fs::path(p).is_absolute() ? fs::path(p)
+                                                 : opt.root / p;
+        std::error_code ec;
+        if (fs::is_directory(abs, ec)) {
+            std::vector<fs::path> batch;
+            fs::recursive_directory_iterator it(
+                abs, fs::directory_options::skip_permission_denied,
+                ec), end;
+            for (; it != end; it.increment(ec)) {
+                if (it->is_directory(ec) && skippedDir(it->path())) {
+                    it.disable_recursion_pending();
+                    continue;
+                }
+                if (it->is_regular_file(ec)
+                    && lintableExtension(it->path()))
+                    batch.push_back(it->path());
+            }
+            std::sort(batch.begin(), batch.end());
+            for (const fs::path &f : batch) {
+                std::string rel =
+                    fs::relative(f, opt.root, ec).generic_string();
+                ++files_seen;
+                lintFile(opt, f, rel, findings, &fixed_files);
+            }
+        } else if (fs::is_regular_file(abs, ec)) {
+            std::string rel = !opt.treat_as.empty()
+                ? opt.treat_as
+                : fs::relative(abs, opt.root, ec).generic_string();
+            ++files_seen;
+            lintFile(opt, abs, rel, findings, &fixed_files);
+        } else {
+            std::fprintf(stderr, "glider_lint: no such path: %s\n",
+                         abs.string().c_str());
+            return 2;
+        }
+    }
+
+    std::sort(findings.begin(), findings.end(),
+              [](const Finding &a, const Finding &b) {
+                  if (a.file != b.file)
+                      return a.file < b.file;
+                  if (a.line != b.line)
+                      return a.line < b.line;
+                  return a.rule < b.rule;
+              });
+    for (const Finding &f : findings) {
+        std::printf("%s:%d: [%s] %s\n", f.file.c_str(), f.line,
+                    f.rule.c_str(), f.msg.c_str());
+    }
+    if (fixed_files > 0)
+        std::fprintf(stderr, "glider_lint: fixed %d file(s)\n",
+                     fixed_files);
+    if (!findings.empty()) {
+        std::fprintf(stderr,
+                     "glider_lint: %zu finding(s) in %zu file(s) "
+                     "scanned\n",
+                     findings.size(), files_seen);
+        return 1;
+    }
+    return 0;
+}
