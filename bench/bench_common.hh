@@ -20,17 +20,23 @@
 #include <functional>
 #include <future>
 #include <map>
+#include <memory>
+#include <optional>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "cachesim/simulator.hh"
+#include "common/cancellation.hh"
 #include "common/thread_pool.hh"
 #include "core/policy_factory.hh"
 #include "obs/bench_report.hh"
 #include "offline/dataset.hh"
 #include "offline/lstm_model.hh"
 #include "offline/simple_models.hh"
+#include "resilience/checkpoint.hh"
+#include "resilience/fault_inject.hh"
+#include "resilience/recovery.hh"
 #include "workloads/registry.hh"
 
 namespace glider {
@@ -122,6 +128,16 @@ runPolicy(const traces::Trace &trace, const std::string &policy)
     return sim::runSingleCore(trace, core::makePolicy(policy), opts);
 }
 
+/** runPolicy with a cooperative cancellation token (sweep cells). */
+inline sim::SingleCoreResult
+runPolicy(const traces::Trace &trace, const std::string &policy,
+          const CancelToken &cancel)
+{
+    sim::SimOptions opts;
+    opts.cancel = &cancel;
+    return sim::runSingleCore(trace, core::makePolicy(policy), opts);
+}
+
 /** Percentage change helpers. */
 inline double
 missReductionPct(const sim::SingleCoreResult &base,
@@ -175,12 +191,25 @@ capDataset(offline::OfflineDataset &ds, std::size_t max_accesses)
  * shared read-only cached trace, so the result table is identical
  * whatever the worker count, and output printed from it is
  * byte-identical to the serial harness's.
+ *
+ * Two execution modes:
+ *  - add()/addCell() + run(): the original fail-fast API; the first
+ *    cell exception aborts the sweep.
+ *  - queue()/queueCell() + runChecked(): keyed cells under the
+ *    resilience layer — per-cell fault isolation (a throwing cell is
+ *    quarantined, siblings complete), bounded retry with exponential
+ *    backoff, per-cell soft deadlines via cooperative cancellation,
+ *    and checkpoint/resume through resilience::SweepCheckpoint.
  */
 class SweepRunner
 {
   public:
     /** A queued simulation returning its result row. */
     using Cell = std::function<sim::SingleCoreResult()>;
+
+    /** A keyed cell that polls a cancellation token (runChecked). */
+    using CancellableCell =
+        std::function<sim::SingleCoreResult(const CancelToken &)>;
 
     explicit SweepRunner(unsigned threads = sweepThreads())
         : pool_(threads)
@@ -208,6 +237,173 @@ class SweepRunner
 
     /** Number of worker threads. */
     unsigned threads() const { return pool_.size(); }
+
+    /** One cell's outcome under runChecked(). */
+    struct CellOutcome
+    {
+        std::string key;
+        sim::SingleCoreResult row; //!< zeroed when quarantined
+        resilience::CellStatus status = resilience::CellStatus::Ok;
+        std::string error; //!< last failure, quarantined cells only
+        int attempts = 0;  //!< attempts made (0 for resumed cells)
+
+        bool ok() const
+        {
+            return status != resilience::CellStatus::Quarantined;
+        }
+    };
+
+    /** All cell outcomes of one runChecked(), in insertion order. */
+    struct SweepOutcome
+    {
+        std::vector<CellOutcome> cells;
+        std::size_t resumed = 0; //!< cells replayed from checkpoint
+
+        /** True when any cell was quarantined (partial results). */
+        bool
+        degraded() const
+        {
+            for (const auto &c : cells) {
+                if (!c.ok())
+                    return true;
+            }
+            return false;
+        }
+    };
+
+    /** Knobs for runChecked(). */
+    struct SweepOptions
+    {
+        std::string sweep_name = "sweep";
+        /** Checkpoint file; empty disables checkpoint/resume. */
+        std::string checkpoint_path;
+        /** Fingerprint of knobs the rows depend on; a checkpoint
+         *  recorded under a different fingerprint is discarded. */
+        obs::json::Value config = obs::json::Value::object();
+        resilience::RecoveryOptions recovery =
+            resilience::RecoveryOptions::fromEnv();
+        /** Resumed rows to recompute and compare against the
+         *  checkpoint (determinism check). GLIDER_CKPT_VERIFY. */
+        std::size_t verify_resumed = static_cast<std::size_t>(
+            envU64("GLIDER_CKPT_VERIFY", 1));
+        /** Fault plan; nullptr reads $GLIDER_FAULT_INJECT. */
+        const resilience::FaultPlan *faults = nullptr;
+    };
+
+    /** Queue @p policy on @p workload for runChecked(), keyed
+     *  "workload/policy". */
+    void
+    queue(const std::string &workload, const std::string &policy)
+    {
+        queueCell(workload + "/" + policy,
+                  [workload, policy](const CancelToken &cancel) {
+                      return runPolicy(buildTrace(workload), policy,
+                                       cancel);
+                  });
+    }
+
+    /** Queue an arbitrary keyed cell for runChecked(). */
+    void
+    queueCell(std::string key, CancellableCell cell)
+    {
+        queued_.push_back({std::move(key), std::move(cell)});
+    }
+
+    /** Cells queued for runChecked() and not yet collected. */
+    std::size_t queuedCells() const { return queued_.size(); }
+
+    /**
+     * Run every queued keyed cell under the resilience layer and
+     * return the outcomes in insertion order.
+     *
+     * Cells found in the checkpoint are not recomputed (except the
+     * first verify_resumed of them, which are recomputed and compared
+     * — a mismatch throws resilience::CheckpointMismatch). Fresh
+     * cells run under resilience::runCell: exceptions (including
+     * verify::InvariantViolation) are caught at the cell boundary,
+     * retried up to the recovery budget, and recorded as Quarantined
+     * on exhaustion — sibling cells always complete. Completed rows
+     * are persisted to the checkpoint as they finish (worker-side),
+     * so even a SIGKILL mid-sweep loses only in-flight cells.
+     */
+    SweepOutcome runChecked() { return runChecked(SweepOptions()); }
+
+    SweepOutcome
+    runChecked(const SweepOptions &opts)
+    {
+        auto start = std::chrono::steady_clock::now();
+        resilience::FaultPlan env_plan;
+        const resilience::FaultPlan *faults = opts.faults;
+        if (!faults) {
+            env_plan = resilience::FaultPlan::fromEnv();
+            faults = &env_plan;
+        }
+        std::unique_ptr<resilience::SweepCheckpoint> ckpt;
+        if (!opts.checkpoint_path.empty()) {
+            ckpt = std::make_unique<resilience::SweepCheckpoint>(
+                opts.checkpoint_path, opts.sweep_name, opts.config);
+            std::size_t loaded = ckpt->load();
+            if (loaded > 0) {
+                std::printf("[sweep-ckpt] resumed %zu cells from %s\n",
+                            loaded, ckpt->path().c_str());
+            }
+        }
+
+        std::vector<std::future<CellOutcome>> futures;
+        futures.reserve(queued_.size());
+        std::size_t verify_budget = opts.verify_resumed;
+        for (auto &qc : queued_) {
+            const obs::json::Value *saved =
+                ckpt ? ckpt->find(qc.key) : nullptr;
+            bool verify = false;
+            if (saved && verify_budget > 0) {
+                verify = true;
+                --verify_budget;
+            }
+            futures.push_back(pool_.submit(
+                [key = qc.key, cell = qc.cell,
+                 saved_row = saved ? *saved : obs::json::Value(),
+                 resumed = saved != nullptr, verify,
+                 ckpt_ptr = ckpt.get(), ropts = opts.recovery, faults,
+                 this]() -> CellOutcome {
+                    return runOneCell(key, cell, saved_row, resumed,
+                                      verify, ckpt_ptr, ropts, faults);
+                }));
+        }
+        queued_.clear();
+
+        SweepOutcome outcome;
+        outcome.cells.reserve(futures.size());
+        for (auto &f : futures)
+            outcome.cells.push_back(f.get());
+        wall_seconds_ += std::chrono::duration<double>(
+                             std::chrono::steady_clock::now() - start)
+                             .count();
+        for (const auto &c : outcome.cells) {
+            switch (c.status) {
+              case resilience::CellStatus::Ok:
+                ++cells_run_;
+                accesses_simulated_ += c.row.accesses_simulated;
+                cell_seconds_ += c.row.sim_seconds;
+                break;
+              case resilience::CellStatus::Resumed:
+                ++outcome.resumed;
+                ++resumed_;
+                break;
+              case resilience::CellStatus::Quarantined:
+                ++quarantined_;
+                std::printf("[sweep] quarantined %s after %d "
+                            "attempt(s): %s\n",
+                            c.key.c_str(), c.attempts,
+                            c.error.c_str());
+                break;
+            }
+        }
+        return outcome;
+    }
+
+    /** Request cooperative cancellation of every running cell. */
+    void cancel() { pool_.cancel(); }
 
     /**
      * Wait for every queued cell and return the rows in insertion
@@ -272,15 +468,71 @@ class SweepRunner
                             pool_.completed());
         registry.setCounter(prefix + ".pool.peak_queue_depth",
                             pool_.peakQueueDepth());
+        registry.setCounter(prefix + ".quarantined", quarantined_);
+        registry.setCounter(prefix + ".resumed", resumed_);
     }
 
   private:
+    struct KeyedCell
+    {
+        std::string key;
+        CancellableCell cell;
+    };
+
+    /** Worker-side body of one runChecked() cell. */
+    CellOutcome
+    runOneCell(const std::string &key, const CancellableCell &cell,
+               const obs::json::Value &saved_row, bool resumed,
+               bool verify, resilience::SweepCheckpoint *ckpt,
+               const resilience::RecoveryOptions &ropts,
+               const resilience::FaultPlan *faults)
+    {
+        CellOutcome out;
+        out.key = key;
+        if (resumed) {
+            out.status = resilience::CellStatus::Resumed;
+            out.row = resilience::decodeResult(saved_row);
+            if (verify) {
+                // Determinism check: the resumed row must match the
+                // checkpointed row when recomputed.
+                auto redo =
+                    resilience::runCell<sim::SingleCoreResult>(
+                        key, cell, ropts, faults, &pool_.token());
+                if (redo.status != resilience::CellStatus::Ok)
+                    throw resilience::CheckpointMismatch(
+                        "resumed cell " + key
+                        + " failed recomputation: " + redo.error);
+                if (resilience::encodeResult(*redo.value) != saved_row)
+                    throw resilience::CheckpointMismatch(
+                        "resumed cell " + key
+                        + " recomputed to a different row "
+                          "(nondeterministic cell or stale "
+                          "checkpoint)");
+            }
+            return out;
+        }
+        auto res = resilience::runCell<sim::SingleCoreResult>(
+            key, cell, ropts, faults, &pool_.token());
+        out.attempts = res.attempts;
+        out.error = res.error;
+        out.status = res.status;
+        if (res.status == resilience::CellStatus::Ok) {
+            out.row = std::move(*res.value);
+            if (ckpt)
+                ckpt->record(key, resilience::encodeResult(out.row));
+        }
+        return out;
+    }
+
     ThreadPool pool_;
     std::vector<std::future<sim::SingleCoreResult>> futures_;
+    std::vector<KeyedCell> queued_;
     double wall_seconds_ = 0.0;
     double cell_seconds_ = 0.0; //!< sum of per-cell replay-loop time
     std::uint64_t cells_run_ = 0;
     std::uint64_t accesses_simulated_ = 0;
+    std::uint64_t quarantined_ = 0;
+    std::uint64_t resumed_ = 0;
 };
 
 /**
@@ -321,6 +573,38 @@ reportHarness(obs::BenchReport &report, const SweepRunner &sweep)
                       static_cast<double>(sweep.accessesSimulated())
                           / sweep.wallSeconds(),
                       "accesses/s", obs::Direction::Info);
+    }
+}
+
+/**
+ * SweepOptions preloaded for a figure-style sweep: checkpoint path
+ * from $GLIDER_CKPT (unset disables checkpointing) and a config
+ * fingerprint carrying the trace length, so a checkpoint recorded at
+ * one GLIDER_ACCESSES is never replayed into a sweep at another.
+ */
+inline SweepRunner::SweepOptions
+sweepOptions(const std::string &sweep_name)
+{
+    SweepRunner::SweepOptions opts;
+    opts.sweep_name = sweep_name;
+    if (const char *path = std::getenv("GLIDER_CKPT"))
+        opts.checkpoint_path = path;
+    opts.config["accesses"] = obs::json::Value(traceAccesses());
+    return opts;
+}
+
+/**
+ * Attach a sweep outcome's resilience state to @p report: the
+ * degraded flag and one quarantined_cells entry per failed cell.
+ */
+inline void
+reportResilience(obs::BenchReport &report,
+                 const SweepRunner::SweepOutcome &outcome)
+{
+    report.markDegraded(outcome.degraded());
+    for (const auto &c : outcome.cells) {
+        if (!c.ok())
+            report.quarantine(c.key, c.error, c.attempts);
     }
 }
 

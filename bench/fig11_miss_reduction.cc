@@ -23,9 +23,10 @@ namespace {
 
 /** Miss count for exact MIN over the (policy-independent) stream. */
 sim::SingleCoreResult
-runMin(const traces::Trace &trace)
+runMin(const traces::Trace &trace, const CancelToken &cancel)
 {
     sim::SimOptions opts;
+    opts.cancel = &cancel;
     auto llc_stream = opt::extractLlcStream(trace, opts.hierarchy);
     return sim::runSingleCore(
         trace, std::make_unique<opt::BeladyPolicy>(llc_stream), opts);
@@ -44,14 +45,24 @@ main()
     const auto names = workloads::figure11Workloads();
 
     // Per workload: the LRU baseline, the lineup, then the MIN bound.
+    // Cells run under the resilience layer: a failing cell is
+    // quarantined (its columns print n/a, the report is marked
+    // degraded), and with GLIDER_CKPT set, completed rows persist so
+    // an interrupted sweep resumes where it stopped.
     bench::SweepRunner sweep;
     for (const auto &name : names) {
-        sweep.add(name, "LRU");
+        sweep.queue(name, "LRU");
         for (const auto &p : policies)
-            sweep.add(name, p);
-        sweep.addCell([name] { return runMin(bench::buildTrace(name)); });
+            sweep.queue(name, p);
+        sweep.queueCell(name + "/MIN",
+                        [name](const CancelToken &cancel) {
+                            return runMin(bench::buildTrace(name),
+                                          cancel);
+                        });
     }
-    const auto rows = sweep.run();
+    const auto outcome =
+        sweep.runChecked(bench::sweepOptions("fig11_miss_reduction"));
+    const auto &rows = outcome.cells;
     const std::size_t stride = policies.size() + 2;
 
     std::printf("%-14s %9s", "Benchmark", "LRU-MPKI");
@@ -64,8 +75,15 @@ main()
     std::map<std::string, std::vector<double>> all_acc;
     for (std::size_t i = 0; i < names.size(); ++i) {
         const auto &name = names[i];
-        const sim::SingleCoreResult *row = &rows[i * stride];
-        const auto &lru = row[0];
+        const bench::SweepRunner::CellOutcome *row = &rows[i * stride];
+        if (!row[0].ok()) {
+            // Without the LRU baseline no reduction is computable;
+            // the quarantined cell is in the report's degraded list.
+            std::printf("%-14s %9s (baseline quarantined)\n",
+                        name.c_str(), "n/a");
+            continue;
+        }
+        const auto &lru = row[0].row;
         std::printf("%-14s %9.2f", name.c_str(), lru.mpki());
         std::string suite =
             workloads::suiteOf(name) == workloads::Suite::Spec2006
@@ -74,7 +92,11 @@ main()
                        ? "SPEC17"
                        : "GAP");
         for (std::size_t p = 0; p < policies.size(); ++p) {
-            double red = bench::missReductionPct(lru, row[1 + p]);
+            if (!row[1 + p].ok()) {
+                std::printf(" %9s", "n/a");
+                continue;
+            }
+            double red = bench::missReductionPct(lru, row[1 + p].row);
             std::printf(" %8.1f%%", red);
             suite_acc[suite + "/" + policies[p]].push_back(red);
             all_acc[policies[p]].push_back(red);
@@ -82,10 +104,15 @@ main()
                 "miss_reduction_pct." + name + "." + policies[p], red,
                 "%", obs::Direction::Info);
         }
-        double min_red = bench::missReductionPct(lru, row[stride - 1]);
-        std::printf(" %8.1f%%\n", min_red);
-        report.metric("miss_reduction_pct." + name + ".MIN", min_red,
-                      "%", obs::Direction::Info);
+        if (row[stride - 1].ok()) {
+            double min_red =
+                bench::missReductionPct(lru, row[stride - 1].row);
+            std::printf(" %8.1f%%\n", min_red);
+            report.metric("miss_reduction_pct." + name + ".MIN",
+                          min_red, "%", obs::Direction::Info);
+        } else {
+            std::printf(" %9s\n", "n/a");
+        }
         std::fflush(stdout);
     }
 
@@ -117,6 +144,7 @@ main()
                 "exceeds Hawkeye's, SHiP++'s, and MPPPB's;\nMIN bounds "
                 "everything from above.\n");
     bench::reportHarness(report, sweep);
+    bench::reportResilience(report, outcome);
     report.write();
-    return 0;
+    return outcome.degraded() ? 2 : 0;
 }

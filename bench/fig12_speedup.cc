@@ -24,13 +24,17 @@ main()
     const auto policies = core::paperLineup();
     const auto names = workloads::figure11Workloads();
 
+    // Keyed cells under the resilience layer (quarantine, retries,
+    // checkpoint/resume via GLIDER_CKPT) — see fig11 for the model.
     bench::SweepRunner sweep;
     for (const auto &name : names) {
-        sweep.add(name, "LRU");
+        sweep.queue(name, "LRU");
         for (const auto &p : policies)
-            sweep.add(name, p);
+            sweep.queue(name, p);
     }
-    const auto rows = sweep.run();
+    const auto outcome =
+        sweep.runChecked(bench::sweepOptions("fig12_speedup"));
+    const auto &rows = outcome.cells;
     const std::size_t stride = policies.size() + 1;
 
     std::printf("%-14s %9s", "Benchmark", "LRU-IPC");
@@ -43,8 +47,13 @@ main()
     std::map<std::string, std::vector<double>> all_acc;
     for (std::size_t i = 0; i < names.size(); ++i) {
         const auto &name = names[i];
-        const sim::SingleCoreResult *row = &rows[i * stride];
-        const auto &lru = row[0];
+        const bench::SweepRunner::CellOutcome *row = &rows[i * stride];
+        if (!row[0].ok()) {
+            std::printf("%-14s %9s (baseline quarantined)\n",
+                        name.c_str(), "n/a");
+            continue;
+        }
+        const auto &lru = row[0].row;
         std::printf("%-14s %9.3f", name.c_str(), lru.ipc);
         std::string suite =
             workloads::suiteOf(name) == workloads::Suite::Spec2006
@@ -53,7 +62,11 @@ main()
                        ? "SPEC17"
                        : "GAP");
         for (std::size_t p = 0; p < policies.size(); ++p) {
-            double up = bench::speedupPct(lru, row[1 + p]);
+            if (!row[1 + p].ok()) {
+                std::printf(" %9s", "n/a");
+                continue;
+            }
+            double up = bench::speedupPct(lru, row[1 + p].row);
             std::printf(" %8.1f%%", up);
             suite_acc[suite + "/" + policies[p]].push_back(up);
             all_acc[policies[p]].push_back(up);
@@ -92,6 +105,7 @@ main()
                 "miss reductions sub-linearly, and Glider leads on "
                 "average.\n");
     bench::reportHarness(report, sweep);
+    bench::reportResilience(report, outcome);
     report.write();
-    return 0;
+    return outcome.degraded() ? 2 : 0;
 }

@@ -78,10 +78,20 @@ main()
                 lstm_cfg.embedding, lstm_cfg.hidden,
                 static_cast<double>(lstm_cfg.lr));
 
+    // Each workload's dataset+training cell runs under the
+    // resilience layer: a failing cell is quarantined (row prints
+    // n/a, report marked degraded) instead of aborting the figure.
     const auto names = workloads::offlineSubset();
+    const auto fault_plan = resilience::FaultPlan::fromEnv();
+    const auto recovery = resilience::RecoveryOptions::fromEnv();
     const auto rows = bench::parallelMap(
-        names, [&lstm_cfg](const std::string &name) {
-            return trainAndEvaluate(name, lstm_cfg);
+        names, [&](const std::string &name) {
+            return resilience::runCell<Row>(
+                name + "/offline",
+                [&](const CancelToken &) {
+                    return trainAndEvaluate(name, lstm_cfg);
+                },
+                recovery, &fault_plan);
         });
 
     std::printf("%-10s %9s %10s %12s %12s %10s\n", "Program",
@@ -90,7 +100,15 @@ main()
     auto report = bench::makeReport("fig9_offline_accuracy");
     std::vector<double> acc_h, acc_p, acc_i, acc_l;
     for (std::size_t i = 0; i < names.size(); ++i) {
-        const Row &row = rows[i];
+        if (rows[i].status == resilience::CellStatus::Quarantined) {
+            std::printf("%-10s %9s (quarantined: %s)\n",
+                        names[i].c_str(), "n/a",
+                        rows[i].error.c_str());
+            report.quarantine(names[i] + "/offline", rows[i].error,
+                              rows[i].attempts);
+            continue;
+        }
+        const Row &row = *rows[i].value;
         acc_h.push_back(row.hawkeye);
         acc_p.push_back(row.perceptron);
         acc_i.push_back(row.isvm);
@@ -125,5 +143,5 @@ main()
                 "within a point or two of each other and clearly above "
                 "Hawkeye\nand the ordered-history Perceptron.\n");
     report.write();
-    return 0;
+    return report.degraded() ? 2 : 0;
 }

@@ -72,12 +72,14 @@ class CoreModel
         // ROB limit: cannot run further ahead than the window allows
         // past the oldest incomplete memory op.
         while (count_ > 0
-               && instructions_ - front().issued_instr
-                   >= params_.rob_entries) {
+               && static_cast<std::int64_t>(instructions_)
+                       - front().issued_instr
+                   >= static_cast<std::int64_t>(params_.rob_entries)) {
             stallUntil(front().completion);
             popFront();
         }
-        pushBack({cycles_ + latency, instructions_});
+        pushBack(
+            {cycles_ + latency, static_cast<std::int64_t>(instructions_)});
     }
 
     /** Drain outstanding operations at end of simulation. */
@@ -102,14 +104,27 @@ class CoreModel
             : 0.0;
     }
 
-    /** Zero the counters (the outstanding window is kept). */
+    /**
+     * Zero the counters at the warmup boundary, keeping the
+     * outstanding window: in-flight operations are rebased to the new
+     * time origin (completion times shifted by the cleared cycle
+     * count, issue instruction counts by the cleared instruction
+     * count, going negative for ops issued before the boundary), so
+     * their ROB/MSHR stalls still land in the measured phase instead
+     * of being silently dropped.
+     */
     void
     clearCounters()
     {
+        for (std::size_t i = 0; i < count_; ++i) {
+            Outstanding &op = ring_[(head_ + i) % ring_.size()];
+            op.completion -= cycles_;
+            if (op.completion < 0.0)
+                op.completion = 0.0;
+            op.issued_instr -= static_cast<std::int64_t>(instructions_);
+        }
         instructions_ = 0;
         cycles_ = 0.0;
-        head_ = 0;
-        count_ = 0;
     }
 
     const CoreParams &params() const { return params_; }
@@ -118,7 +133,10 @@ class CoreModel
     struct Outstanding
     {
         double completion;
-        std::uint64_t issued_instr;
+        // Signed: clearCounters() rebases issue points against the
+        // new origin, so ops issued before the warmup boundary sit at
+        // negative instruction counts.
+        std::int64_t issued_instr;
     };
 
     // Fixed ring buffer over the MSHR window. A std::deque here cost

@@ -7,6 +7,17 @@
 namespace glider {
 namespace sim {
 
+namespace {
+
+/**
+ * Poll interval for the cooperative cancellation token: frequent
+ * enough that a soft deadline lands within milliseconds, coarse
+ * enough that the check is invisible next to the access itself.
+ */
+constexpr std::uint64_t kCancelCheckMask = 4095;
+
+} // namespace
+
 SingleCoreResult
 runSingleCore(const traces::Trace &trace,
               std::unique_ptr<ReplacementPolicy> llc_policy,
@@ -24,6 +35,8 @@ runSingleCore(const traces::Trace &trace,
         opts.warmup_fraction * static_cast<double>(trace.size()));
     auto start = std::chrono::steady_clock::now();
     for (std::size_t i = 0; i < trace.size(); ++i) {
+        if (opts.cancel && (i & kCancelCheckMask) == 0)
+            opts.cancel->throwIfCancelled();
         const auto &rec = trace[i];
         AccessDepth depth =
             hier.access(0, rec.pc, rec.address, rec.is_write);
@@ -81,7 +94,10 @@ runMultiCore(const std::vector<const traces::Trace *> &traces,
     // execution serialises onto the shared LLC. All cores keep
     // running (with trace rewind) until every core has executed its
     // measured quota — the paper's early-finisher rewind rule.
+    std::uint64_t iterations = 0;
     while (!warm || pending_cores > 0) {
+        if (opts.cancel && (iterations++ & kCancelCheckMask) == 0)
+            opts.cancel->throwIfCancelled();
         unsigned next = 0;
         for (unsigned c = 1; c < cores; ++c) {
             if (models[c].cycles() < models[next].cycles())

@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "common/cancellation.hh"
 #include "core_model.hh"
 #include "hierarchy.hh"
 #include "traces/trace.hh"
@@ -68,6 +69,13 @@ struct SimOptions
     HierarchyConfig hierarchy;
     CoreParams core;
     double warmup_fraction = 0.2; //!< accesses before stats reset
+    /**
+     * Optional cooperative cancellation: when set, the replay loops
+     * poll the token every few thousand accesses and unwind with
+     * CancelledError once it fires (soft deadline or stop request).
+     * The token must outlive the run; nullptr disables polling.
+     */
+    const CancelToken *cancel = nullptr;
 };
 
 /**

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Cooperative cancellation for long-running simulation cells.
+ *
+ * A CancelToken is a shared flag plus an optional soft deadline that
+ * work loops poll at coarse intervals (the simulator checks every few
+ * thousand accesses). Cancellation is always cooperative: nothing is
+ * interrupted mid-operation, the loop observes the token and throws
+ * CancelledError at its next checkpoint, unwinding through ordinary
+ * RAII. Tokens chain: a per-cell token with a parent observes the
+ * pool-wide token too, so one cancel() on the pool stops every cell.
+ */
+
+#ifndef GLIDER_COMMON_CANCELLATION_HH
+#define GLIDER_COMMON_CANCELLATION_HH
+
+#include <atomic>
+#include <chrono>
+#include <stdexcept>
+#include <string>
+
+namespace glider {
+
+/** Thrown by CancelToken::throwIfCancelled when the token fired. */
+class CancelledError : public std::runtime_error
+{
+  public:
+    explicit CancelledError(const std::string &msg)
+        : std::runtime_error(msg)
+    {
+    }
+};
+
+/** Shared cancellation flag with an optional soft deadline. */
+class CancelToken
+{
+  public:
+    using Clock = std::chrono::steady_clock;
+
+    /** @param parent Optional upstream token observed alongside. */
+    explicit CancelToken(const CancelToken *parent = nullptr)
+        : parent_(parent)
+    {
+    }
+
+    CancelToken(const CancelToken &) = delete;
+    CancelToken &operator=(const CancelToken &) = delete;
+
+    /** Request cancellation; visible to every poller immediately. */
+    void
+    cancel()
+    {
+        cancelled_.store(true, std::memory_order_relaxed);
+    }
+
+    /** Arm a soft deadline @p ms milliseconds from now (0 disarms). */
+    void
+    setDeadlineMs(std::uint64_t ms)
+    {
+        has_deadline_ = ms > 0;
+        if (has_deadline_)
+            deadline_ = Clock::now() + std::chrono::milliseconds(ms);
+    }
+
+    /** True once cancel() was called, the deadline passed, or a
+     *  parent token reports cancelled. */
+    bool
+    cancelled() const
+    {
+        if (cancelled_.load(std::memory_order_relaxed))
+            return true;
+        if (has_deadline_ && Clock::now() >= deadline_) {
+            cancelled_.store(true, std::memory_order_relaxed);
+            return true;
+        }
+        return parent_ && parent_->cancelled();
+    }
+
+    /** @throws CancelledError when cancelled(). */
+    void
+    throwIfCancelled() const
+    {
+        if (cancelled())
+            throw CancelledError("cancelled (deadline or stop request)");
+    }
+
+  private:
+    const CancelToken *parent_;
+    mutable std::atomic<bool> cancelled_{false};
+    bool has_deadline_ = false;
+    Clock::time_point deadline_{};
+};
+
+} // namespace glider
+
+#endif // GLIDER_COMMON_CANCELLATION_HH

@@ -24,6 +24,8 @@
 #include <utility>
 #include <vector>
 
+#include "cancellation.hh"
+
 namespace glider {
 
 /** Fixed-size thread pool; FIFO task queue; future-based results. */
@@ -133,6 +135,17 @@ class ThreadPool
         }
     }
 
+    /**
+     * Pool-wide cancellation token. Cancelling it does not drop
+     * queued tasks (their futures stay valid); tasks that poll the
+     * token — directly or through a chained per-cell child — observe
+     * the request and unwind cooperatively.
+     */
+    const CancelToken &token() const { return cancel_; }
+
+    /** Request cooperative cancellation of every polling task. */
+    void cancel() { cancel_.cancel(); }
+
     /** Hardware concurrency, falling back to 1 when unknown. */
     static unsigned
     defaultThreads()
@@ -169,6 +182,7 @@ class ThreadPool
     std::atomic<std::uint64_t> submitted_{0};
     std::atomic<std::uint64_t> completed_{0};
     std::atomic<std::size_t> peak_queue_{0};
+    CancelToken cancel_;
 };
 
 } // namespace glider

@@ -53,7 +53,9 @@ class GliderPolicy : public policies::OptGuidedPolicy
         // Snapshot semantics: prediction and training feature for
         // this access both use the PCHR *before* it absorbs the
         // current PC — the control-flow context leading up to the
-        // access — and the PCHR updates on every LLC access.
+        // access — and the PCHR updates on every LLC access. The
+        // copy-assign reuses snapshot_'s capacity (k is fixed), so
+        // the warmed path stays allocation-free.
         snapshot_ = predictor_->history(access.core);
         predictor_->observe(access.pc, access.core);
     }
@@ -72,7 +74,7 @@ class GliderPolicy : public policies::OptGuidedPolicy
         }
     }
 
-    opt::PcHistory
+    const opt::PcHistory &
     historySnapshot(const sim::ReplacementAccess &) override
     {
         return snapshot_;

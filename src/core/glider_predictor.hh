@@ -139,8 +139,12 @@ class GliderPredictor
         pchr_[core].observe(pc);
     }
 
-    /** PCHR snapshot used as the feature for the current access. */
-    opt::PcHistory
+    /**
+     * PCHR snapshot used as the feature for the current access.
+     * Returned by reference (per-access path); invalidated by the
+     * next observe() on the same core.
+     */
+    const opt::PcHistory &
     history(std::uint8_t core = 0) const
     {
         return pchr_[core].snapshot();

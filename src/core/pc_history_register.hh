@@ -33,9 +33,13 @@ class PcHistoryRegister
 
     /**
      * Current contents as a feature snapshot. Order within the
-     * returned vector carries no meaning to the predictor.
+     * returned vector carries no meaning to the predictor. Returned
+     * by reference — this sits on the per-access predictor path and a
+     * by-value return allocated a vector copy per access; callers
+     * that need to retain the snapshot across observe() copy-assign
+     * into a reused buffer.
      */
-    opt::PcHistory
+    const opt::PcHistory &
     snapshot() const
     {
         return tracker_.entries();

@@ -48,6 +48,18 @@ BenchReport::metric(const std::string &name, double value,
 }
 
 void
+BenchReport::quarantine(const std::string &cell,
+                        const std::string &error, int attempts)
+{
+    degraded_ = true;
+    json::Value q = json::Value::object();
+    q["cell"] = cell;
+    q["error"] = error;
+    q["attempts"] = attempts;
+    quarantined_.push(std::move(q));
+}
+
+void
 BenchReport::attach(const std::string &key, json::Value value)
 {
     extra_[key] = std::move(value);
@@ -68,6 +80,9 @@ BenchReport::toJson() const
     out["bench"] = name_;
     out["config"] = config_;
     out["metrics"] = metrics_;
+    out["degraded"] = degraded_;
+    if (quarantined_.size() > 0)
+        out["quarantined_cells"] = quarantined_;
     if (extra_.size() > 0)
         out["extra"] = extra_;
     return out;

@@ -19,8 +19,17 @@
  *       "tolerance": <fraction>              // optional, see below
  *     }, ...
  *   },
+ *   "degraded": <bool>,                      // any cell quarantined
+ *   "quarantined_cells": [                   // present when degraded
+ *     { "cell": "<key>", "error": "<what>", "attempts": <n> }, ...
+ *   ],
  *   "extra": { <free-form attachments, e.g. a Registry export> }
  * }
+ *
+ * "degraded" distinguishes partial results from clean runs by
+ * machine: a sweep that quarantined cells still writes its artifact,
+ * but consumers (and humans) can see exactly which rows are missing
+ * and why.
  *
  * "direction" tells bench_diff which way a change is a regression;
  * "info" metrics are reported but never gate. "tolerance" is the
@@ -67,6 +76,18 @@ class BenchReport
                 Direction direction = Direction::Info,
                 double tolerance = -1.0);
 
+    /**
+     * Record one quarantined sweep cell and mark the report degraded:
+     * the artifact carries partial results.
+     */
+    void quarantine(const std::string &cell, const std::string &error,
+                    int attempts);
+
+    /** Explicitly set the degraded flag (quarantine() implies it). */
+    void markDegraded(bool degraded) { degraded_ = degraded; }
+
+    bool degraded() const { return degraded_; }
+
     /** Attach a free-form document section under "extra". */
     void attach(const std::string &key, json::Value value);
 
@@ -91,6 +112,8 @@ class BenchReport
     json::Value config_ = json::Value::object();
     json::Value metrics_ = json::Value::object();
     json::Value extra_ = json::Value::object();
+    json::Value quarantined_ = json::Value::array();
+    bool degraded_ = false;
 };
 
 } // namespace obs

@@ -231,11 +231,14 @@ OptGenSampler::occupancyUtilization() const
 std::optional<TrainingEvent>
 OptGenSampler::popExpired()
 {
+    // Round-robin drain: the cursor advances whether or not the set
+    // produced an event, so one hot set cannot drain exhaustively
+    // while other sets' expired negatives go stale behind it.
     for (std::size_t n = 0; n < sampled_.size(); ++n) {
         auto ev = sampled_[drain_cursor_].popExpired();
+        drain_cursor_ = (drain_cursor_ + 1) % sampled_.size();
         if (ev)
             return ev;
-        drain_cursor_ = (drain_cursor_ + 1) % sampled_.size();
     }
     return std::nullopt;
 }

@@ -147,6 +147,15 @@ OptGuidedPolicy::onFriendlyEviction(std::uint64_t, std::uint8_t)
 {
 }
 
+const opt::PcHistory &
+OptGuidedPolicy::historySnapshot(const sim::ReplacementAccess &)
+{
+    // Predictors without a history feature (Hawkeye) share one empty
+    // snapshot; allocated once, never mutated.
+    static const opt::PcHistory kEmpty;
+    return kEmpty;
+}
+
 void
 OptGuidedPolicy::exportMetrics(obs::Registry &registry,
                                const std::string &prefix) const

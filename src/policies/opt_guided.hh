@@ -95,12 +95,14 @@ class OptGuidedPolicy : public sim::ReplacementPolicy
     virtual void onFriendlyEviction(std::uint64_t line_pc,
                                     std::uint8_t core);
 
-    /** Control-flow history to store with sampled accesses. */
-    virtual opt::PcHistory
-    historySnapshot(const sim::ReplacementAccess &)
-    {
-        return {};
-    }
+    /**
+     * Control-flow history to store with sampled accesses. Returned
+     * by reference — this is called per sampled access and a by-value
+     * return put a vector copy on the hot path; the referent must
+     * stay valid until the next access.
+     */
+    virtual const opt::PcHistory &historySnapshot(
+        const sim::ReplacementAccess &);
 
     /** Called once per LLC access, before prediction (PCHR update). */
     virtual void observeAccess(const sim::ReplacementAccess &) {}

@@ -1,0 +1,150 @@
+#include "fault_inject.hh"
+
+#include <chrono>
+#include <cstdlib>
+#include <stdexcept>
+#include <thread>
+
+#include "common/hash.hh"
+#include "common/rng.hh"
+
+namespace glider {
+namespace resilience {
+
+namespace {
+
+/**
+ * FNV-1a over the key bytes, finished with mix64. std::hash would do
+ * within one process, but its value is implementation-defined and
+ * fault draws must reproduce across toolchains.
+ */
+std::uint64_t
+hashKey(const std::string &key)
+{
+    std::uint64_t h = 0xcbf29ce484222325ull;
+    for (char c : key) {
+        h ^= static_cast<unsigned char>(c);
+        h *= 0x100000001b3ull;
+    }
+    return mix64(h);
+}
+
+std::vector<std::string>
+split(const std::string &s, char sep)
+{
+    std::vector<std::string> out;
+    std::size_t start = 0;
+    while (start <= s.size()) {
+        std::size_t end = s.find(sep, start);
+        if (end == std::string::npos)
+            end = s.size();
+        if (end > start)
+            out.push_back(s.substr(start, end - start));
+        start = end + 1;
+    }
+    return out;
+}
+
+[[noreturn]] void
+badClause(const std::string &clause)
+{
+    throw std::invalid_argument("GLIDER_FAULT_INJECT: bad clause '"
+                                + clause + "'");
+}
+
+} // namespace
+
+FaultPlan
+FaultPlan::parse(const std::string &spec)
+{
+    FaultPlan plan;
+    for (const auto &clause : split(spec, ';')) {
+        Clause c;
+        std::size_t at = clause.find('@');
+        std::string head =
+            at == std::string::npos ? clause : clause.substr(0, at);
+        if (at != std::string::npos)
+            c.key = clause.substr(at + 1);
+        auto parts = split(head, ':');
+        if (parts.empty())
+            badClause(clause);
+        const std::string &name = parts[0];
+        if (name == "throw" && parts.size() == 1 && !c.key.empty()) {
+            c.kind = Kind::Throw;
+        } else if (name == "flaky" && parts.size() == 2
+                   && !c.key.empty()) {
+            c.kind = Kind::Flaky;
+            c.flaky_attempts = std::atoi(parts[1].c_str());
+            if (c.flaky_attempts <= 0)
+                badClause(clause);
+        } else if (name == "hang" && parts.size() == 1
+                   && !c.key.empty()) {
+            c.kind = Kind::Hang;
+        } else if (name == "abort" && parts.size() == 1
+                   && !c.key.empty()) {
+            c.kind = Kind::Abort;
+        } else if (name == "random" && parts.size() == 3
+                   && c.key.empty()) {
+            c.kind = Kind::Random;
+            c.probability = std::atof(parts[1].c_str());
+            c.seed = std::strtoull(parts[2].c_str(), nullptr, 10);
+            if (c.probability < 0.0 || c.probability > 1.0)
+                badClause(clause);
+        } else {
+            badClause(clause);
+        }
+        plan.clauses_.push_back(std::move(c));
+    }
+    return plan;
+}
+
+FaultPlan
+FaultPlan::fromEnv()
+{
+    const char *spec = std::getenv("GLIDER_FAULT_INJECT");
+    return spec && *spec ? parse(spec) : FaultPlan();
+}
+
+void
+FaultPlan::apply(const std::string &key, int attempt,
+                 const CancelToken &token) const
+{
+    for (const auto &c : clauses_) {
+        switch (c.kind) {
+          case Kind::Throw:
+            if (c.key == key)
+                throw FaultInjected("injected throw at " + key);
+            break;
+          case Kind::Flaky:
+            if (c.key == key && attempt <= c.flaky_attempts)
+                throw FaultInjected("injected flaky fault at " + key
+                                    + " (attempt "
+                                    + std::to_string(attempt) + ")");
+            break;
+          case Kind::Hang:
+            if (c.key == key) {
+                // Cooperative hang: the cell makes no progress until
+                // its deadline (or an external cancel) fires.
+                while (!token.cancelled()) {
+                    std::this_thread::sleep_for(
+                        std::chrono::milliseconds(1));
+                }
+                token.throwIfCancelled();
+            }
+            break;
+          case Kind::Abort:
+            if (c.key == key)
+                std::abort(); // simulated hard kill mid-sweep
+            break;
+          case Kind::Random: {
+            Rng rng(c.seed ^ hashKey(key));
+            if (attempt == 1 && rng.chance(c.probability))
+                throw FaultInjected("injected random fault at " + key);
+            break;
+          }
+        }
+    }
+}
+
+} // namespace resilience
+} // namespace glider

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Deterministic fault injection for the experiment harness.
+ *
+ * GLIDER_FAULT_INJECT selects faults by cell key so that every
+ * recovery path — quarantine, retry, deadline cancellation, and
+ * checkpoint resume after a hard kill — can be exercised from tests
+ * and CI without touching simulator code. The spec is a semicolon-
+ * separated list of clauses:
+ *
+ *   throw@KEY        throw FaultInjected on every attempt of KEY
+ *   flaky:N@KEY      throw on the first N attempts, then succeed
+ *   hang@KEY         spin (sleeping) until the cell's cancel token
+ *                    fires, then unwind with CancelledError
+ *   abort@KEY        std::abort() — simulates a hard process kill
+ *   random:P:SEED    every cell fails its first attempt with
+ *                    probability P, drawn deterministically per key
+ *                    from Rng(seed ^ hash(key)) (common/rng.hh)
+ *
+ * All draws are per-(key, attempt) deterministic, so a failing run
+ * reproduces exactly.
+ */
+
+#ifndef GLIDER_RESILIENCE_FAULT_INJECT_HH
+#define GLIDER_RESILIENCE_FAULT_INJECT_HH
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "common/cancellation.hh"
+
+namespace glider {
+namespace resilience {
+
+/** Thrown by an injected throw/flaky fault. */
+class FaultInjected : public std::runtime_error
+{
+  public:
+    explicit FaultInjected(const std::string &msg)
+        : std::runtime_error(msg)
+    {
+    }
+};
+
+/** Parsed GLIDER_FAULT_INJECT specification. */
+class FaultPlan
+{
+  public:
+    /** Kinds of injectable faults (see file comment for semantics). */
+    enum class Kind { Throw, Flaky, Hang, Abort, Random };
+
+    /** One spec clause. */
+    struct Clause
+    {
+        Kind kind = Kind::Throw;
+        std::string key;              //!< target cell; empty for Random
+        int flaky_attempts = 0;       //!< Flaky: attempts that fail
+        double probability = 0.0;     //!< Random: per-cell fail chance
+        std::uint64_t seed = 0;       //!< Random: draw seed
+    };
+
+    FaultPlan() = default;
+
+    /**
+     * Parse a spec string. Malformed clauses throw
+     * std::invalid_argument with the offending clause.
+     */
+    static FaultPlan parse(const std::string &spec);
+
+    /** Plan from $GLIDER_FAULT_INJECT (empty plan when unset). */
+    static FaultPlan fromEnv();
+
+    bool empty() const { return clauses_.empty(); }
+    const std::vector<Clause> &clauses() const { return clauses_; }
+
+    /**
+     * Fire any fault this plan holds for (@p key, @p attempt); called
+     * at the top of every cell attempt. May throw FaultInjected,
+     * sleep until @p token cancels (then throw CancelledError), or
+     * abort the process. Returns normally when no fault matches.
+     */
+    void apply(const std::string &key, int attempt,
+               const CancelToken &token) const;
+
+  private:
+    std::vector<Clause> clauses_;
+};
+
+} // namespace resilience
+} // namespace glider
+
+#endif // GLIDER_RESILIENCE_FAULT_INJECT_HH

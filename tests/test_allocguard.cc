@@ -13,6 +13,7 @@
 #include "cachesim/core_model.hh"
 #include "cachesim/hierarchy.hh"
 #include "common/alloc_guard.hh"
+#include "core/glider_predictor.hh"
 #include "core/policy_factory.hh"
 #include "traces/trace.hh"
 #include "workloads/registry.hh"
@@ -125,6 +126,31 @@ TEST(AllocGuard, CoreModelStepIsAllocationFree)
     EXPECT_EQ(guard.allocations(), 0u)
         << "CoreModel::step allocated (MSHR window must be a fixed "
            "ring)";
+}
+
+TEST(AllocGuard, GliderSnapshotPathIsAllocationFree)
+{
+    if (!allocGuardEnabled())
+        GTEST_SKIP() << "build with -DGLIDER_ALLOCGUARD=ON";
+    glider::core::GliderPredictor pred;
+    // Warm with a fixed PC working set so the PCHR reaches its
+    // k-entry capacity; the ISVM table is fixed-size (hash-indexed)
+    // and never allocates per access.
+    const std::uint64_t pcs[8] = {0x10, 0x24, 0x38, 0x4c,
+                                  0x60, 0x74, 0x88, 0x9c};
+    for (int i = 0; i < 4096; ++i)
+        pred.observe(pcs[i % 8]);
+    ScopedAllocCheck guard;
+    for (int i = 0; i < 100'000; ++i) {
+        // The per-access predictor sequence: snapshot the PCHR,
+        // predict against it, then absorb the new PC.
+        const auto &snap = pred.history();
+        pred.predictWith(pcs[i % 8], snap);
+        pred.observe(pcs[(i * 3) % 8]);
+    }
+    EXPECT_EQ(guard.allocations(), 0u)
+        << "PCHR snapshot path allocated (snapshot must return by "
+           "reference, not by value)";
 }
 
 TEST(AllocGuard, CountersActuallyCount)

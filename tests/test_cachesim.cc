@@ -235,6 +235,24 @@ TEST(CoreModel, ClearCountersResets)
     EXPECT_EQ(core.cycles(), 0.0);
 }
 
+TEST(CoreModel, ClearCountersRetainsInFlightWindow)
+{
+    CoreModel core;
+    // A long DRAM miss is still outstanding at the warmup boundary:
+    // completion 1001 cycles, 4 instructions issued, 1 cycle elapsed.
+    core.step(AccessDepth::Dram, 1000);
+    core.clearCounters();
+    // Post-warmup: 100 L1 hits retire 400 instructions in 100 cycles,
+    // but the rebased miss (completion now 1000) must still stall the
+    // drain — it was in flight, not dropped.
+    for (int i = 0; i < 100; ++i)
+        core.step(AccessDepth::L1, 4);
+    core.finish();
+    EXPECT_EQ(core.instructions(), 400u);
+    EXPECT_DOUBLE_EQ(core.cycles(), 1000.0);
+    EXPECT_DOUBLE_EQ(core.ipc(), 0.4);
+}
+
 traces::Trace
 streamingTrace(std::size_t blocks, int sweeps)
 {

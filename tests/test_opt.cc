@@ -215,6 +215,72 @@ TEST(OptGenSet, CapacityEvictionTrainsNegative)
     EXPECT_FALSE(ev->opt_hit);
 }
 
+TEST(OptGenSet, EntryAtNewBaseSurvivesWindowSlide)
+{
+    OptGenSet set(1, 4, 8); // 4-quantum window
+    PcHistory none;
+    set.access(10, 0xA, 0, none, false, false); // t=0
+    set.access(11, 0xB, 0, none, false, false); // t=1
+    set.access(12, 0xC, 0, none, false, false); // t=2
+    set.access(13, 0xD, 0, none, false, false); // t=3
+    // t=4 slides the window to new_base=1: the t=0 entry ages out,
+    // while the t=1 entry (last_time == new_base) must survive.
+    set.access(14, 0xE, 0, none, false, false);
+    auto ev = set.popExpired();
+    ASSERT_TRUE(ev.has_value());
+    EXPECT_EQ(ev->block, 10u);
+    EXPECT_FALSE(ev->opt_hit);
+    EXPECT_FALSE(set.popExpired().has_value());
+    EXPECT_EQ(set.stats().expired_negatives, 1u);
+
+    // One quantum later (new_base=2) the t=1 entry emits exactly one
+    // negative — not zero, not a duplicate.
+    set.access(15, 0xF, 0, none, false, false);
+    ev = set.popExpired();
+    ASSERT_TRUE(ev.has_value());
+    EXPECT_EQ(ev->block, 11u);
+    EXPECT_FALSE(set.popExpired().has_value());
+    EXPECT_EQ(set.stats().expired_negatives, 2u);
+}
+
+TEST(OptGenSet, UtilizationAtExactWindowBoundary)
+{
+    OptGenSet set(1, 4, 8);
+    PcHistory none;
+    // Four accesses to one block: clock_ lands exactly on
+    // history_quanta_, the boundary between the partial-window and
+    // sliding-window scan ranges of occupancyUtilization().
+    for (int i = 0; i < 4; ++i)
+        set.access(42, 0x1, 0, none, false, false);
+    EXPECT_EQ(set.clock(), 4u);
+    // Three closed one-quantum intervals reserved occupancy in quanta
+    // 0..2; the newest quantum is empty: 3 / (4 quanta * 1 way).
+    EXPECT_DOUBLE_EQ(set.occupancyUtilization(), 0.75);
+}
+
+TEST(OptGenSampler, DrainInterleavesAcrossSets)
+{
+    // 2 sets, 1 way, both sampled; per-set sampler capacity is
+    // 2*ways = 2 tracked addresses.
+    OptGenSampler sampler(2, 1, 2);
+    PcHistory none;
+    // Four distinct blocks per set queue two capacity-eviction
+    // negatives in each set's expired queue.
+    for (std::uint64_t b = 0; b < 4; ++b) {
+        sampler.access(0, 100 + b, 0x10, 0, none, false, false);
+        sampler.access(1, 200 + b, 0x20, 0, none, false, false);
+    }
+    std::vector<std::uint64_t> pcs;
+    while (auto ev = sampler.popExpired())
+        pcs.push_back(ev->pc);
+    ASSERT_EQ(pcs.size(), 4u);
+    // Round-robin drain alternates the two sets; a cursor that never
+    // advances on success would drain one set exhaustively first.
+    EXPECT_NE(pcs[0], pcs[1]);
+    EXPECT_EQ(pcs[0], pcs[2]);
+    EXPECT_EQ(pcs[1], pcs[3]);
+}
+
 TEST(OptGenSet, HistorySnapshotRoundTrips)
 {
     OptGenSet set(2, 16, 8);
