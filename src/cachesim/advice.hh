@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Batched caching-advice probe.
+ *
+ * A replacement policy that can answer "would this (pc, core) be
+ * cache-friendly right now?" for a whole batch at once implements
+ * BatchAdviceProvider. The multi-core harness uses it as an opt-in
+ * probe (SimOptions::advice_batch): while replaying a trace it
+ * periodically re-queries recent accesses in batches against the
+ * policy's live state, exercising exactly the query shape a
+ * standalone serving layer (ROADMAP: src/serve) issues — spans in,
+ * spans out, no per-call allocation — without altering any
+ * replacement decision or statistic of the simulation proper.
+ */
+
+#ifndef GLIDER_CACHESIM_ADVICE_HH
+#define GLIDER_CACHESIM_ADVICE_HH
+
+#include <cstdint>
+#include <span>
+
+namespace glider {
+namespace sim {
+
+/** Coarse caching advice (mirrors the three insertion priorities). */
+enum class AdviceLevel { FriendlyHigh, FriendlyLow, Averse };
+
+/** One advice query: an access identified by its PC and core. */
+struct AdviceQuery
+{
+    std::uint64_t pc = 0;
+    std::uint8_t core = 0;
+};
+
+/** One advice answer: raw score plus its coarse level. */
+struct Advice
+{
+    int score = 0;
+    AdviceLevel level = AdviceLevel::FriendlyLow;
+};
+
+/**
+ * Implemented by policies whose predictor can serve batched advice
+ * queries against live state. Must not mutate predictor or policy
+ * state and must not allocate (it runs between timed accesses of a
+ * measured replay).
+ */
+class BatchAdviceProvider
+{
+  public:
+    virtual ~BatchAdviceProvider() = default;
+
+    /**
+     * Answer @p queries against current state into @p out, which
+     * holds at least queries.size() elements.
+     */
+    virtual void serveAdviceBatch(std::span<const AdviceQuery> queries,
+                                  std::span<Advice> out) const = 0;
+};
+
+} // namespace sim
+} // namespace glider
+
+#endif // GLIDER_CACHESIM_ADVICE_HH

@@ -37,6 +37,14 @@ class LruTracker
         entries_.reserve(capacity);
     }
 
+    /** Outcome of a touch, for callers mirroring the contents. */
+    struct TouchResult
+    {
+        bool inserted = false; //!< key was not resident and entered
+        bool evicted = false;  //!< a resident key was displaced
+        Key victim{};          //!< the displaced key (when evicted)
+    };
+
     /**
      * Touch @p key: insert it (evicting LRU if full) or refresh it to
      * the MRU position if already present.
@@ -45,16 +53,32 @@ class LruTracker
     bool
     touch(const Key &key)
     {
+        return touchTracked(key).inserted;
+    }
+
+    /**
+     * touch() plus the membership delta, so a caller maintaining a
+     * derived view of the resident set (e.g. the PCHR's slot-count
+     * feature) can update it incrementally instead of rescanning.
+     */
+    TouchResult
+    touchTracked(const Key &key)
+    {
+        TouchResult result;
         auto it = std::find(entries_.begin(), entries_.end(), key);
         if (it != entries_.end()) {
             // Rotate the found key to the back (MRU position).
             std::rotate(it, it + 1, entries_.end());
-            return false;
+            return result;
         }
-        if (entries_.size() == capacity_)
+        result.inserted = true;
+        if (entries_.size() == capacity_) {
+            result.evicted = true;
+            result.victim = entries_.front();
             entries_.erase(entries_.begin());
+        }
         entries_.push_back(key);
-        return true;
+        return result;
     }
 
     /** @return true if @p key is currently resident. */

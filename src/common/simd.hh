@@ -1,0 +1,316 @@
+/**
+ * @file
+ * SIMD dispatch for the batched ISVM prediction kernel.
+ *
+ * The one hot kernel the predictor needs is a 16-lane signed-8-bit
+ * dot product: a weight row (int8) against a slot-count vector
+ * (uint8), summed exactly into an int32. This header provides three
+ * interchangeable backends — AVX2, NEON, and a portable scalar
+ * reference — that are bit-identical on every input the predictor
+ * can produce (total history length <= 255, so no intermediate
+ * saturates), plus configure-time selection and runtime dispatch.
+ *
+ * Configure-time policy (CMake option GLIDER_SIMD):
+ *   auto (default)  compile every backend the target architecture
+ *                   supports and pick the best at runtime (CPUID on
+ *                   x86; NEON is baseline on AArch64).
+ *   avx2 | neon     compile and force that backend unconditionally
+ *                   (for known deployment targets; no runtime probe).
+ *   scalar          compile only the portable reference.
+ *
+ * Adding a backend: implement dotRowsYourIsa with the exact integer
+ * semantics of dotRowsScalar, extend Backend/name/compiled/usable,
+ * and add a dispatch arm to dotRowsWith. The differential tests in
+ * tests/test_simd.cc pick up new backends through usable().
+ */
+
+#ifndef GLIDER_COMMON_SIMD_HH
+#define GLIDER_COMMON_SIMD_HH
+
+#include <cstddef>
+#include <cstdint>
+
+#if defined(GLIDER_SIMD_FORCE_AVX2) \
+    && !(defined(__x86_64__) || defined(__i386__))
+#error "GLIDER_SIMD=avx2 requires an x86 target"
+#endif
+#if defined(GLIDER_SIMD_FORCE_NEON) && !defined(__ARM_NEON)
+#error "GLIDER_SIMD=neon requires a NEON-capable ARM target"
+#endif
+
+#if !defined(GLIDER_SIMD_FORCE_SCALAR) \
+    && !defined(GLIDER_SIMD_FORCE_NEON) \
+    && (defined(__x86_64__) || defined(__i386__)) \
+    && (defined(__GNUC__) || defined(__clang__))
+#define GLIDER_SIMD_HAVE_AVX2 1
+#include <immintrin.h>
+#else
+#define GLIDER_SIMD_HAVE_AVX2 0
+#endif
+
+#if !defined(GLIDER_SIMD_FORCE_SCALAR) \
+    && !defined(GLIDER_SIMD_FORCE_AVX2) && defined(__ARM_NEON)
+#define GLIDER_SIMD_HAVE_NEON 1
+#include <arm_neon.h>
+#else
+#define GLIDER_SIMD_HAVE_NEON 0
+#endif
+
+namespace glider {
+namespace simd {
+
+/** Weight-row width shared with the ISVM layout (16 x int8). */
+inline constexpr std::size_t kDotLanes = 16;
+
+/**
+ * Exactness bound: every backend is bit-identical to the scalar
+ * reference as long as the counts of one request sum to at most 255
+ * (the AVX2 path pairs lanes into 16-bit products; 255 * 128 * 2
+ * stays inside int16 only when adjacent counts sum to <= 255, which
+ * a <=255-element history guarantees).
+ */
+inline constexpr std::size_t kMaxCountSum = 255;
+
+/** Available kernel implementations. */
+enum class Backend { Scalar, Avx2, Neon };
+
+inline const char *
+backendName(Backend b)
+{
+    switch (b) {
+      case Backend::Avx2:
+        return "avx2";
+      case Backend::Neon:
+        return "neon";
+      default:
+        return "scalar";
+    }
+}
+
+/** Was @p b compiled into this binary (configure-time)? */
+inline bool
+compiled(Backend b)
+{
+    switch (b) {
+      case Backend::Avx2:
+        return GLIDER_SIMD_HAVE_AVX2 != 0;
+      case Backend::Neon:
+        return GLIDER_SIMD_HAVE_NEON != 0;
+      default:
+        return true;
+    }
+}
+
+/** Is @p b compiled in *and* supported by the running CPU? */
+inline bool
+usable(Backend b)
+{
+#if GLIDER_SIMD_HAVE_AVX2
+    if (b == Backend::Avx2)
+        return __builtin_cpu_supports("avx2") != 0;
+#endif
+    if (b == Backend::Neon)
+        return compiled(Backend::Neon); // NEON is baseline when compiled
+    return b == Backend::Scalar;
+}
+
+/**
+ * Portable reference kernel: sums[i] = dot(rows[i], counts row i),
+ * exact int32 arithmetic. All other backends must match it bit for
+ * bit. @p counts holds n contiguous 16-byte rows.
+ */
+inline void
+dotRowsScalar(const std::int8_t *const *rows, const std::uint8_t *counts,
+              std::size_t n, std::int32_t *sums)
+{
+    for (std::size_t i = 0; i < n; ++i) {
+        const std::int8_t *w = rows[i];
+        const std::uint8_t *c = counts + i * kDotLanes;
+        std::int32_t sum = 0;
+        for (std::size_t j = 0; j < kDotLanes; ++j)
+            sum += static_cast<std::int32_t>(c[j])
+                * static_cast<std::int32_t>(w[j]);
+        sums[i] = sum;
+    }
+}
+
+#if GLIDER_SIMD_HAVE_AVX2
+
+/** Horizontal sum of four int32 lanes. */
+__attribute__((target("avx2"))) inline std::int32_t
+hsum4Avx2(__m128i v)
+{
+    __m128i hi = _mm_add_epi32(v, _mm_shuffle_epi32(v, 0x4E));
+    __m128i s = _mm_add_epi32(hi, _mm_shuffle_epi32(hi, 0xB1));
+    return _mm_cvtsi128_si32(s);
+}
+
+/**
+ * AVX2 kernel: four requests per main-loop iteration. maddubs
+ * multiplies the unsigned counts against the signed weights into
+ * 16-bit pairs (exact while adjacent counts sum to <= 255, see
+ * kMaxCountSum), madd widens to int32, and two hadd passes plus one
+ * cross-lane permute reduce all four requests to a single 128-bit
+ * store. A two-request step and a 128-bit step mop up the tail.
+ */
+__attribute__((target("avx2"))) inline void
+dotRowsAvx2(const std::int8_t *const *rows, const std::uint8_t *counts,
+            std::size_t n, std::int32_t *sums)
+{
+    const __m256i ones = _mm256_set1_epi16(1);
+    const __m256i lane_order =
+        _mm256_setr_epi32(0, 4, 1, 5, 0, 0, 0, 0);
+    std::size_t i = 0;
+    for (; i + 4 <= n; i += 4) {
+        __m128i w0 = _mm_loadu_si128(
+            reinterpret_cast<const __m128i *>(rows[i]));
+        __m128i w1 = _mm_loadu_si128(
+            reinterpret_cast<const __m128i *>(rows[i + 1]));
+        __m128i w2 = _mm_loadu_si128(
+            reinterpret_cast<const __m128i *>(rows[i + 2]));
+        __m128i w3 = _mm_loadu_si128(
+            reinterpret_cast<const __m128i *>(rows[i + 3]));
+        __m256i wa = _mm256_inserti128_si256(_mm256_castsi128_si256(w0),
+                                             w1, 1);
+        __m256i wb = _mm256_inserti128_si256(_mm256_castsi128_si256(w2),
+                                             w3, 1);
+        __m256i ca = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(counts + i * kDotLanes));
+        __m256i cb = _mm256_loadu_si256(reinterpret_cast<const __m256i *>(
+            counts + (i + 2) * kDotLanes));
+        __m256i qa = _mm256_madd_epi16(_mm256_maddubs_epi16(ca, wa),
+                                       ones);
+        __m256i qb = _mm256_madd_epi16(_mm256_maddubs_epi16(cb, wb),
+                                       ones);
+        // qa = [a0..a3 | b0..b3], qb = [c0..c3 | d0..d3]; two hadds
+        // give [a c a c | b d b d], the permute picks lanes 0,4,1,5.
+        __m256i t = _mm256_hadd_epi32(qa, qb);
+        __m256i u = _mm256_hadd_epi32(t, t);
+        __m256i abcd = _mm256_permutevar8x32_epi32(u, lane_order);
+        _mm_storeu_si128(reinterpret_cast<__m128i *>(sums + i),
+                         _mm256_castsi256_si128(abcd));
+    }
+    for (; i + 2 <= n; i += 2) {
+        __m128i w0 = _mm_loadu_si128(
+            reinterpret_cast<const __m128i *>(rows[i]));
+        __m128i w1 = _mm_loadu_si128(
+            reinterpret_cast<const __m128i *>(rows[i + 1]));
+        __m256i w = _mm256_inserti128_si256(_mm256_castsi128_si256(w0),
+                                            w1, 1);
+        __m256i c = _mm256_loadu_si256(reinterpret_cast<const __m256i *>(
+            counts + i * kDotLanes));
+        __m256i pairs = _mm256_maddubs_epi16(c, w);
+        __m256i quads = _mm256_madd_epi16(pairs, ones);
+        sums[i] = hsum4Avx2(_mm256_castsi256_si128(quads));
+        sums[i + 1] = hsum4Avx2(_mm256_extracti128_si256(quads, 1));
+    }
+    if (i < n) {
+        __m128i w = _mm_loadu_si128(
+            reinterpret_cast<const __m128i *>(rows[i]));
+        __m128i c = _mm_loadu_si128(reinterpret_cast<const __m128i *>(
+            counts + i * kDotLanes));
+        __m128i pairs = _mm_maddubs_epi16(c, w);
+        __m128i quads = _mm_madd_epi16(pairs, _mm_set1_epi16(1));
+        sums[i] = hsum4Avx2(quads);
+    }
+}
+
+#endif // GLIDER_SIMD_HAVE_AVX2
+
+#if GLIDER_SIMD_HAVE_NEON
+
+/**
+ * NEON kernel: counts and weights widen to int16 (counts <= 255 fit),
+ * four widening multiply-accumulates produce four int32 lanes, and a
+ * cross-lane add finishes the request. Exact for all inputs.
+ */
+inline void
+dotRowsNeon(const std::int8_t *const *rows, const std::uint8_t *counts,
+            std::size_t n, std::int32_t *sums)
+{
+    for (std::size_t i = 0; i < n; ++i) {
+        int8x16_t w = vld1q_s8(rows[i]);
+        uint8x16_t c = vld1q_u8(counts + i * kDotLanes);
+        int16x8_t clo = vreinterpretq_s16_u16(vmovl_u8(vget_low_u8(c)));
+        int16x8_t chi =
+            vreinterpretq_s16_u16(vmovl_u8(vget_high_u8(c)));
+        int16x8_t wlo = vmovl_s8(vget_low_s8(w));
+        int16x8_t whi = vmovl_s8(vget_high_s8(w));
+        int32x4_t acc =
+            vmull_s16(vget_low_s16(clo), vget_low_s16(wlo));
+        acc = vmlal_s16(acc, vget_high_s16(clo), vget_high_s16(wlo));
+        acc = vmlal_s16(acc, vget_low_s16(chi), vget_low_s16(whi));
+        acc = vmlal_s16(acc, vget_high_s16(chi), vget_high_s16(whi));
+#if defined(__aarch64__)
+        sums[i] = vaddvq_s32(acc);
+#else
+        int32x2_t p = vadd_s32(vget_low_s32(acc), vget_high_s32(acc));
+        p = vpadd_s32(p, p);
+        sums[i] = vget_lane_s32(p, 0);
+#endif
+    }
+}
+
+#endif // GLIDER_SIMD_HAVE_NEON
+
+/**
+ * Backend the dispatching entry point uses: the forced backend under
+ * GLIDER_SIMD=avx2|neon|scalar, otherwise the best usable one,
+ * probed once per process.
+ */
+inline Backend
+activeBackend()
+{
+#if defined(GLIDER_SIMD_FORCE_AVX2)
+    return Backend::Avx2;
+#elif defined(GLIDER_SIMD_FORCE_NEON)
+    return Backend::Neon;
+#elif defined(GLIDER_SIMD_FORCE_SCALAR)
+    return Backend::Scalar;
+#else
+    static const Backend resolved = usable(Backend::Avx2)
+        ? Backend::Avx2
+        : usable(Backend::Neon) ? Backend::Neon : Backend::Scalar;
+    return resolved;
+#endif
+}
+
+/**
+ * Run the dot kernel with an explicit backend (tests and per-backend
+ * benchmarks). Backends that are not compiled in fall back to the
+ * scalar reference, which is bit-identical anyway.
+ */
+inline void
+dotRowsWith(Backend backend, const std::int8_t *const *rows,
+            const std::uint8_t *counts, std::size_t n,
+            std::int32_t *sums)
+{
+    switch (backend) {
+#if GLIDER_SIMD_HAVE_AVX2
+      case Backend::Avx2:
+        dotRowsAvx2(rows, counts, n, sums);
+        return;
+#endif
+#if GLIDER_SIMD_HAVE_NEON
+      case Backend::Neon:
+        dotRowsNeon(rows, counts, n, sums);
+        return;
+#endif
+      default:
+        dotRowsScalar(rows, counts, n, sums);
+        return;
+    }
+}
+
+/** Dispatching entry point: the active backend's kernel. */
+inline void
+dotRows(const std::int8_t *const *rows, const std::uint8_t *counts,
+        std::size_t n, std::int32_t *sums)
+{
+    dotRowsWith(activeBackend(), rows, counts, n, sums);
+}
+
+} // namespace simd
+} // namespace glider
+
+#endif // GLIDER_COMMON_SIMD_HH

@@ -9,6 +9,9 @@
 #ifndef GLIDER_CORE_GLIDER_POLICY_HH
 #define GLIDER_CORE_GLIDER_POLICY_HH
 
+#include <array>
+
+#include "cachesim/advice.hh"
 #include "glider_predictor.hh"
 #include "policies/opt_guided.hh"
 
@@ -16,7 +19,8 @@ namespace glider {
 namespace core {
 
 /** Glider replacement (the paper's contribution). */
-class GliderPolicy : public policies::OptGuidedPolicy
+class GliderPolicy : public policies::OptGuidedPolicy,
+                     public sim::BatchAdviceProvider
 {
   public:
     explicit GliderPolicy(const GliderConfig &config = GliderConfig())
@@ -37,6 +41,58 @@ class GliderPolicy : public policies::OptGuidedPolicy
     /** Read access to the live predictor (for probes and tests). */
     const GliderPredictor &predictor() const { return *predictor_; }
 
+    const sim::BatchAdviceProvider *
+    adviceProvider() const override
+    {
+        return this;
+    }
+
+    /**
+     * Batched advice against the live predictor (the serving-layer
+     * query shape): each query is answered with the ISVM decision for
+     * its PC under the core's *current* PCHR feature. Read-only and
+     * allocation-free — chunked through predictMany's SIMD path with
+     * stack scratch.
+     */
+    void
+    serveAdviceBatch(std::span<const sim::AdviceQuery> queries,
+                     std::span<sim::Advice> out) const override
+    {
+        GLIDER_ASSERT(predictor_ != nullptr);
+        GLIDER_ASSERT(out.size() >= queries.size());
+        constexpr std::size_t kChunk = GliderPredictor::kBatchChunk;
+        std::array<PredictRequest, kChunk> requests;
+        std::array<Prediction, kChunk> predictions;
+        for (std::size_t base = 0; base < queries.size();
+             base += kChunk) {
+            std::size_t n = std::min(kChunk, queries.size() - base);
+            for (std::size_t i = 0; i < n; ++i) {
+                const sim::AdviceQuery &q = queries[base + i];
+                requests[i].pc = q.pc;
+                requests[i].core = q.core;
+                requests[i].counts =
+                    &predictor_->historyCounts(q.core);
+            }
+            predictor_->predictMany(
+                std::span<const PredictRequest>(requests.data(), n),
+                std::span<Prediction>(predictions.data(), n));
+            for (std::size_t i = 0; i < n; ++i) {
+                out[base + i].score = predictions[i].sum;
+                switch (predictions[i].level) {
+                  case GliderPrediction::FriendlyHigh:
+                    out[base + i].level = sim::AdviceLevel::FriendlyHigh;
+                    break;
+                  case GliderPrediction::FriendlyLow:
+                    out[base + i].level = sim::AdviceLevel::FriendlyLow;
+                    break;
+                  default:
+                    out[base + i].level = sim::AdviceLevel::Averse;
+                    break;
+                }
+            }
+        }
+    }
+
     void
     exportMetrics(obs::Registry &registry,
                   const std::string &prefix) const override
@@ -55,16 +111,19 @@ class GliderPolicy : public policies::OptGuidedPolicy
         // current PC — the control-flow context leading up to the
         // access — and the PCHR updates on every LLC access. The
         // copy-assign reuses snapshot_'s capacity (k is fixed), so
-        // the warmed path stays allocation-free.
+        // the warmed path stays allocation-free. The slot-count
+        // feature snapshots alongside (a 16-byte copy), keeping the
+        // per-access prediction hash-free.
         snapshot_ = predictor_->history(access.core);
+        snapshot_counts_ = predictor_->historyCounts(access.core);
         predictor_->observe(access.pc, access.core);
     }
 
     Pred
     predictAccess(const sim::ReplacementAccess &access) override
     {
-        switch (predictor_->predictWith(access.pc, snapshot_,
-                                        access.core)) {
+        switch (predictor_->predictCounts(access.pc, snapshot_counts_,
+                                          access.core)) {
           case GliderPrediction::FriendlyHigh:
             return Pred::FriendlyHigh;
           case GliderPrediction::FriendlyLow:
@@ -91,6 +150,7 @@ class GliderPolicy : public policies::OptGuidedPolicy
     GliderConfig config_;
     std::unique_ptr<GliderPredictor> predictor_;
     opt::PcHistory snapshot_;
+    SlotCounts snapshot_counts_;
 };
 
 } // namespace core

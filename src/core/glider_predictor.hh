@@ -8,10 +8,14 @@
 #ifndef GLIDER_CORE_GLIDER_PREDICTOR_HH
 #define GLIDER_CORE_GLIDER_PREDICTOR_HH
 
+#include <algorithm>
 #include <cstdint>
+#include <cstring>
+#include <span>
 #include <string>
 #include <vector>
 
+#include "common/simd.hh"
 #include "isvm.hh"
 #include "obs/metrics.hh"
 #include "pc_history_register.hh"
@@ -118,6 +122,27 @@ class AdaptiveThreshold
 /** Three-level caching prediction (maps to RRPV 0 / 2 / 7). */
 enum class GliderPrediction { FriendlyHigh, FriendlyLow, Averse };
 
+/**
+ * One element of a prediction batch. The feature comes either
+ * pre-resolved (@p counts, e.g. the live PCHR feature or a cached
+ * serving-side snapshot) or as a raw history to hash (@p history);
+ * when @p counts is set, @p history is ignored.
+ */
+struct PredictRequest
+{
+    std::uint64_t pc = 0;  //!< load PC issuing the access
+    std::uint8_t core = 0; //!< core whose ISVM partition to use
+    std::span<const std::uint64_t> history{}; //!< PCHR contents
+    const SlotCounts *counts = nullptr; //!< pre-resolved feature
+};
+
+/** One element of a prediction batch's output. */
+struct Prediction
+{
+    int sum = 0; //!< raw ISVM decision sum
+    GliderPrediction level = GliderPrediction::FriendlyLow;
+};
+
 /** The complete Glider predictor of Figure 8. */
 class GliderPredictor
 {
@@ -150,11 +175,26 @@ class GliderPredictor
         return pchr_[core].snapshot();
     }
 
-    /** Raw decision sum for (pc, PCHR of core). */
+    /**
+     * Slot-count feature of the core's live PCHR. Maintained
+     * incrementally by observe(); valid until the next observe() on
+     * the same core (copy to retain).
+     */
+    const SlotCounts &
+    historyCounts(std::uint8_t core = 0) const
+    {
+        return pchr_[core].slotCounts();
+    }
+
+    /**
+     * Raw decision sum for (pc, PCHR of core). Hash-free: consumes
+     * the incrementally maintained slot counts.
+     */
     int
     decisionSum(std::uint64_t pc, std::uint8_t core = 0) const
     {
-        return table_.forPc(pc, core).predict(pchr_[core].snapshot());
+        return table_.forPc(pc, core).predictCounts(
+            pchr_[core].slotCounts());
     }
 
     /** Raw decision sum for (pc, explicit history snapshot). */
@@ -163,6 +203,14 @@ class GliderPredictor
                     std::uint8_t core = 0) const
     {
         return table_.forPc(pc, core).predict(history);
+    }
+
+    /** Raw decision sum for (pc, pre-resolved feature). */
+    int
+    decisionSumCounts(std::uint64_t pc, const SlotCounts &counts,
+                      std::uint8_t core = 0) const
+    {
+        return table_.forPc(pc, core).predictCounts(counts);
     }
 
     /** Map a decision sum to the three-level prediction of §4.4. */
@@ -191,24 +239,90 @@ class GliderPredictor
         return classify(decisionSumWith(pc, history, core));
     }
 
+    /** Three-level prediction against a pre-resolved feature. */
+    GliderPrediction
+    predictCounts(std::uint64_t pc, const SlotCounts &counts,
+                  std::uint8_t core = 0) const
+    {
+        return classify(decisionSumCounts(pc, counts, core));
+    }
+
+    /** Requests processed per predictMany gather chunk. */
+    static constexpr std::size_t kBatchChunk = 64;
+
+    /**
+     * Batched prediction with an explicit SIMD backend: resolve every
+     * request's weight row and slot-count feature, then compute the
+     * 16-lane gathers + sums kBatchChunk at a time. Bit-identical to
+     * calling predictWith per request, on every backend. Performs no
+     * heap allocation (stack scratch only); @p out must be at least
+     * as long as @p requests.
+     */
+    void
+    predictManyWith(simd::Backend backend,
+                    std::span<const PredictRequest> requests,
+                    std::span<Prediction> out) const
+    {
+        GLIDER_ASSERT(out.size() >= requests.size());
+        const std::int8_t *rows[kBatchChunk];
+        alignas(64) std::uint8_t counts[kBatchChunk * kIsvmWeights];
+        std::int32_t sums[kBatchChunk];
+        for (std::size_t base = 0; base < requests.size();
+             base += kBatchChunk) {
+            std::size_t n =
+                std::min(kBatchChunk, requests.size() - base);
+            for (std::size_t i = 0; i < n; ++i) {
+                const PredictRequest &req = requests[base + i];
+                rows[i] =
+                    table_.row(table_.rowIndexOf(req.pc, req.core));
+                std::uint8_t *lane = counts + i * kIsvmWeights;
+                if (req.counts != nullptr)
+                    std::memcpy(lane, req.counts->data(),
+                                kIsvmWeights);
+                else
+                    countSlotsInto(req.history, lane);
+            }
+            simd::dotRowsWith(backend, rows, counts, n, sums);
+            for (std::size_t i = 0; i < n; ++i) {
+                out[base + i].sum = sums[i];
+                out[base + i].level = classify(sums[i]);
+            }
+        }
+    }
+
+    /** Batched prediction with the runtime-dispatched backend. */
+    void
+    predictMany(std::span<const PredictRequest> requests,
+                std::span<Prediction> out) const
+    {
+        predictManyWith(simd::activeBackend(), requests, out);
+    }
+
     /**
      * Train from an OPTgen label: the access at which @p history was
      * captured, issued by @p pc, should (@p opt_hit) or should not
-     * have been cached.
+     * have been cached. Each history PC is hashed exactly once — the
+     * slot-count feature serves both the threshold check and the
+     * weight update.
      */
     void
     train(std::uint64_t pc, std::uint8_t core,
           const opt::PcHistory &history, bool opt_hit)
     {
-        Isvm &isvm = table_.forPc(pc, core);
-        bool was_friendly = isvm.predict(history) >= 0;
+        IsvmView isvm = table_.forPc(pc, core);
+        SlotCounts counts = countSlots(history);
+        int sum = isvm.predictCounts(counts);
+        bool was_friendly = sum >= 0;
         int threshold = config_.adaptive_threshold
             ? adaptive_.current()
             : config_.fixed_threshold;
-        if (isvm.train(history, opt_hit, threshold))
-            ++train_updates_;
-        else
+        bool skip = opt_hit ? sum > threshold : sum < -threshold;
+        if (skip) {
             ++train_skips_;
+        } else {
+            isvm.applyCounts(counts, opt_hit);
+            ++train_updates_;
+        }
         if (config_.adaptive_threshold)
             adaptive_.record(was_friendly == opt_hit);
     }

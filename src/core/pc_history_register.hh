@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "common/lru_tracker.hh"
+#include "isvm.hh"
 #include "opt/optgen.hh"
 
 namespace glider {
@@ -28,8 +29,22 @@ class PcHistoryRegister
     /** @param k Number of unique PCs retained (paper default 5). */
     explicit PcHistoryRegister(std::size_t k = 5) : tracker_(k) {}
 
-    /** Observe one access: PC enters (or refreshes) the register. */
-    void observe(std::uint64_t pc) { tracker_.touch(pc); }
+    /**
+     * Observe one access: PC enters (or refreshes) the register. The
+     * slot-count feature is maintained incrementally — one slot hash
+     * for a new PC, none for a refresh — so predictions never rescan
+     * the history.
+     */
+    void
+    observe(std::uint64_t pc)
+    {
+        auto touch = tracker_.touchTracked(pc);
+        if (!touch.inserted)
+            return;
+        if (touch.evicted)
+            counts_.remove(isvmSlotOf(touch.victim));
+        counts_.add(isvmSlotOf(pc));
+    }
 
     /**
      * Current contents as a feature snapshot. Order within the
@@ -45,6 +60,14 @@ class PcHistoryRegister
         return tracker_.entries();
     }
 
+    /**
+     * The register's contents as the dense ISVM feature: lane j holds
+     * how many resident PCs hash to weight slot j. Kept in lockstep
+     * with snapshot() by observe(); the predictor's per-access and
+     * batched paths both consume it hash-free.
+     */
+    const SlotCounts &slotCounts() const { return counts_; }
+
     bool contains(std::uint64_t pc) const
     {
         return tracker_.contains(pc);
@@ -52,10 +75,17 @@ class PcHistoryRegister
 
     std::size_t size() const { return tracker_.size(); }
     std::size_t capacity() const { return tracker_.capacity(); }
-    void clear() { tracker_.clear(); }
+
+    void
+    clear()
+    {
+        tracker_.clear();
+        counts_ = SlotCounts{};
+    }
 
   private:
     LruTracker<std::uint64_t> tracker_;
+    SlotCounts counts_;
 };
 
 } // namespace core

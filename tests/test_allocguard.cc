@@ -9,6 +9,8 @@
 
 #include <gtest/gtest.h>
 
+#include <span>
+
 #include "cachesim/cache.hh"
 #include "cachesim/core_model.hh"
 #include "cachesim/hierarchy.hh"
@@ -151,6 +153,42 @@ TEST(AllocGuard, GliderSnapshotPathIsAllocationFree)
     EXPECT_EQ(guard.allocations(), 0u)
         << "PCHR snapshot path allocated (snapshot must return by "
            "reference, not by value)";
+}
+
+TEST(AllocGuard, PredictManyBatchedReplayIsAllocationFree)
+{
+    if (!allocGuardEnabled())
+        GTEST_SKIP() << "build with -DGLIDER_ALLOCGUARD=ON";
+    // The batched prediction path end to end — PCHR feature
+    // maintenance, request assembly against live counts, and the
+    // SIMD gather/sum — over a 50k-access warmed replay. The spans-in
+    // spans-out API contract is zero per-call heap allocation.
+    glider::core::GliderPredictor pred;
+    const auto &trace =
+        glider::workloads::cachedTrace("libquantum", 100'000);
+    for (std::size_t i = 0; i < kWarmup; ++i)
+        pred.observe(trace[i % trace.size()].pc);
+    constexpr std::size_t kBatch = 64;
+    glider::core::PredictRequest requests[kBatch];
+    glider::core::Prediction predictions[kBatch];
+    ScopedAllocCheck guard;
+    std::size_t filled = 0;
+    for (std::size_t i = kWarmup; i < kWarmup + kMeasured; ++i) {
+        const auto &rec = trace[i % trace.size()];
+        requests[filled].pc = rec.pc;
+        requests[filled].counts = &pred.historyCounts();
+        if (++filled == kBatch) {
+            pred.predictMany(
+                std::span<const glider::core::PredictRequest>(
+                    requests, kBatch),
+                std::span<glider::core::Prediction>(predictions,
+                                                    kBatch));
+            filled = 0;
+        }
+        pred.observe(rec.pc);
+    }
+    EXPECT_EQ(guard.allocations(), 0u)
+        << "predictMany allocated on the warmed batched replay";
 }
 
 TEST(AllocGuard, CountersActuallyCount)

@@ -97,6 +97,66 @@ TEST(Isvm, WeightsSaturateAtEightBit)
     EXPECT_LE(isvm.predict(h), Isvm::kWeightMax);
 }
 
+TEST(Isvm, StorageIsSixteenSignedBytes)
+{
+    // The Table 3 budget is real, not bookkeeping: one ISVM costs
+    // exactly its 16 8-bit weights.
+    EXPECT_EQ(sizeof(Isvm), 16u);
+    EXPECT_EQ(Isvm::kWeightMax, 127);
+    EXPECT_EQ(Isvm::kWeightMin, -128);
+}
+
+TEST(Isvm, SaturationBoundaryIsExact)
+{
+    // Drive one slot to each rail and pin the boundary arithmetic:
+    // the weight parks exactly at +127 / -128, further same-sign
+    // updates are no-ops, and one opposite update steps off the rail
+    // by exactly the multiplicity.
+    Isvm isvm;
+    opt::PcHistory h{100};
+    auto slot = Isvm::slotOf(100);
+    for (int i = 0; i < 500; ++i)
+        isvm.train(h, true, 100000);
+    EXPECT_EQ(isvm.weights()[slot], Isvm::kWeightMax);
+    EXPECT_EQ(isvm.predict(h), Isvm::kWeightMax);
+    isvm.train(h, true, 100000); // saturated: must not wrap
+    EXPECT_EQ(isvm.weights()[slot], Isvm::kWeightMax);
+    isvm.train(h, false, 100000);
+    EXPECT_EQ(isvm.weights()[slot], Isvm::kWeightMax - 1);
+    for (int i = 0; i < 600; ++i)
+        isvm.train(h, false, 100000);
+    EXPECT_EQ(isvm.weights()[slot], Isvm::kWeightMin);
+    EXPECT_EQ(isvm.predict(h), Isvm::kWeightMin);
+    isvm.train(h, false, 100000); // saturated low: must not wrap
+    EXPECT_EQ(isvm.weights()[slot], Isvm::kWeightMin);
+    isvm.train(h, true, 100000);
+    EXPECT_EQ(isvm.weights()[slot], Isvm::kWeightMin + 1);
+}
+
+TEST(Isvm, DuplicateSlotUpdatesClampLikePerStepApplication)
+{
+    // Two history PCs landing in the same slot apply a ±2 step; near
+    // the rail the clamp must agree with one-at-a-time application
+    // (same-sign contributions make the orderings equivalent).
+    std::uint64_t a = 0, b = 0;
+    for (std::uint64_t pc = 1; pc < 100000; ++pc) {
+        if (Isvm::slotOf(pc) == Isvm::slotOf(0x12345)) {
+            (a == 0 ? a : b) = pc;
+            if (b != 0)
+                break;
+        }
+    }
+    ASSERT_NE(a, 0u);
+    ASSERT_NE(b, 0u);
+    Isvm isvm;
+    opt::PcHistory pair{a, b};
+    for (int i = 0; i < 70; ++i)
+        isvm.train(pair, true, 100000); // +2 per step
+    auto slot = Isvm::slotOf(a);
+    EXPECT_EQ(isvm.weights()[slot], Isvm::kWeightMax);
+    EXPECT_EQ(isvm.predict(pair), 2 * Isvm::kWeightMax);
+}
+
 TEST(Isvm, SeparatesContextsByHistory)
 {
     // Same current PC, two different histories with opposite labels:

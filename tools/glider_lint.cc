@@ -644,9 +644,19 @@ endsWith(const std::string &s, const char *suffix)
 bool
 isHotPathFile(const std::string &rel)
 {
+    // The vectorized prediction stack (PCHR feature maintenance, the
+    // SoA ISVM table, predictMany, and the SIMD kernels) is as hot as
+    // the simulator proper: every LLC access runs through it.
+    static const std::set<std::string> hot_files = {
+        "src/common/simd.hh",
+        "src/core/glider_policy.hh",
+        "src/core/glider_predictor.hh",
+        "src/core/isvm.hh",
+        "src/core/pc_history_register.hh",
+    };
     return startsWith(rel, "src/cachesim/")
         || startsWith(rel, "src/policies/")
-        || startsWith(rel, "src/opt/");
+        || startsWith(rel, "src/opt/") || hot_files.count(rel) != 0;
 }
 
 void
