@@ -9,6 +9,7 @@
 #define GLIDER_CORE_GLIDER_PREDICTOR_HH
 
 #include <algorithm>
+#include <array>
 #include <cstdint>
 #include <cstring>
 #include <span>
@@ -52,6 +53,51 @@ class AdaptiveThreshold
 
     /** Times current() changed value across epoch boundaries. */
     std::uint64_t switches() const { return switches_; }
+
+    /**
+     * Complete explore/exploit state, exposed for checkpointing: a
+     * restored predictor must resume the threshold schedule exactly
+     * where the snapshot left it, or post-restore training diverges
+     * from the uninterrupted run.
+     */
+    struct State
+    {
+        std::size_t active = 0;
+        bool exploring = true;
+        std::uint64_t events = 0;
+        std::uint64_t correct = 0;
+        std::uint64_t exploit_epochs_left = 0;
+        std::array<double, 5> accuracy{};
+        std::uint64_t switches = 0;
+    };
+
+    State
+    state() const
+    {
+        State s;
+        s.active = active_;
+        s.exploring = exploring_;
+        s.events = events_;
+        s.correct = correct_;
+        s.exploit_epochs_left = exploit_epochs_left_;
+        for (std::size_t i = 0; i < 5; ++i)
+            s.accuracy[i] = accuracy_[i];
+        s.switches = switches_;
+        return s;
+    }
+
+    void
+    restore(const State &s)
+    {
+        active_ = s.active < 5 ? s.active : 0;
+        exploring_ = s.exploring;
+        events_ = s.events;
+        correct_ = s.correct;
+        exploit_epochs_left_ = s.exploit_epochs_left;
+        for (std::size_t i = 0; i < 5; ++i)
+            accuracy_[i] = s.accuracy[i];
+        switches_ = s.switches;
+    }
 
     /** Record one training event's correctness and advance epochs. */
     void
@@ -363,6 +409,38 @@ class GliderPredictor
 
     const GliderConfig &config() const { return config_; }
     const IsvmTable &table() const { return table_; }
+
+    /** Mutable table access (checkpoint restore writes weight rows). */
+    IsvmTable &table() { return table_; }
+
+    /** Cores this predictor partitions PCHR/ISVM state across. */
+    unsigned
+    cores() const
+    {
+        return static_cast<unsigned>(pchr_.size());
+    }
+
+    /** Adaptive-threshold schedule state (checkpointing). */
+    AdaptiveThreshold::State
+    adaptiveState() const
+    {
+        return adaptive_.state();
+    }
+
+    /** Restore the adaptive-threshold schedule from a checkpoint. */
+    void
+    restoreAdaptive(const AdaptiveThreshold::State &s)
+    {
+        adaptive_.restore(s);
+    }
+
+    /** Restore the training counters from a checkpoint. */
+    void
+    restoreTrainCounters(std::uint64_t updates, std::uint64_t skips)
+    {
+        train_updates_ = updates;
+        train_skips_ = skips;
+    }
 
     /** Total predictor storage in bytes (Table 3). */
     std::size_t

@@ -51,10 +51,27 @@ inline constexpr int kIsvmWeightMin = -128;
  */
 inline constexpr std::size_t kIsvmMaxHistory = simd::kMaxCountSum;
 
+/**
+ * Per-thread count of slot-hash invocations. The one-hash contract —
+ * every history PC hashed exactly once per predict/train/observe —
+ * is a correctness *and* performance invariant (the pre-PR-6
+ * double-hash bug silently doubled the hot-path hash cost); tests pin
+ * it by sampling this counter around predictor operations. A
+ * thread_local increment costs ~1 cycle and keeps the counter
+ * race-free without atomics.
+ */
+inline std::uint64_t &
+isvmSlotHashCount()
+{
+    thread_local std::uint64_t count = 0;
+    return count;
+}
+
 /** 4-bit hash selecting the weight slot for a history PC. */
 inline std::uint32_t
 isvmSlotOf(std::uint64_t history_pc)
 {
+    ++isvmSlotHashCount();
     return static_cast<std::uint32_t>(hashBits(history_pc, 4));
 }
 

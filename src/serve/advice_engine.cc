@@ -1,0 +1,241 @@
+/**
+ * @file
+ * AdviceEngine runtime: shard workers, batching, backpressure and
+ * graceful shutdown. Snapshot/restore lives in snapshot.cc.
+ */
+
+#include "advice_engine.hh"
+
+#include <chrono>
+#include <cstdlib>
+#include <thread>
+
+#include "common/logging.hh"
+
+namespace glider {
+namespace serve {
+
+namespace {
+
+std::uint64_t
+envU64Or(const char *name, std::uint64_t fallback)
+{
+    const char *v = std::getenv(name);
+    if (v == nullptr || *v == '\0')
+        return fallback;
+    return std::strtoull(v, nullptr, 10);
+}
+
+} // namespace
+
+EngineConfig
+EngineConfig::fromEnv()
+{
+    EngineConfig config;
+    config.shards = static_cast<unsigned>(
+        envU64Or("GLIDER_SERVE_SHARDS", config.shards));
+    if (config.shards == 0)
+        config.shards = 1;
+    config.queue_capacity = static_cast<std::size_t>(
+        envU64Or("GLIDER_SERVE_QUEUE_CAP", config.queue_capacity));
+    if (config.queue_capacity < 2)
+        config.queue_capacity = 2;
+    return config;
+}
+
+AdviceEngine::AdviceEngine(const EngineConfig &config)
+    : config_(config), pool_(config.shards == 0 ? 1 : config.shards)
+{
+    if (config_.shards == 0)
+        config_.shards = 1;
+    if (config_.max_batch == 0)
+        config_.max_batch = 1;
+    shards_.reserve(config_.shards);
+    for (unsigned i = 0; i < config_.shards; ++i)
+        shards_.push_back(std::make_unique<Shard>(config_));
+    workers_.reserve(config_.shards);
+    for (auto &shard : shards_) {
+        Shard *s = shard.get();
+        workers_.push_back(pool_.submit([this, s] { shardLoop(*s); }));
+    }
+}
+
+AdviceEngine::~AdviceEngine() { stop(); }
+
+bool
+AdviceEngine::submit(const AdviceRequest &request)
+{
+    Shard &shard = *shards_[shardOf(request.tenant)];
+    // Account the request *before* checking the stop gate: a worker
+    // only exits once served == accepted with the gate up, so any
+    // submission that passes the gate is guaranteed to be drained
+    // even if stop() lands between the gate check and the push.
+    shard.accepted.fetch_add(1, std::memory_order_seq_cst);
+    if (stop_.load(std::memory_order_seq_cst)
+        || !shard.queue.tryPush(request)) {
+        shard.accepted.fetch_sub(1, std::memory_order_seq_cst);
+        rejected_.fetch_add(1, std::memory_order_relaxed);
+        return false;
+    }
+    return true;
+}
+
+void
+AdviceEngine::shardLoop(Shard &shard)
+{
+    unsigned idle = 0;
+    for (;;) {
+        std::size_t n = 0;
+        if (shard.queue.tryPop(shard.drain[0]))
+            n = 1;
+        if (n == 0) {
+            if (stop_.load(std::memory_order_seq_cst)
+                && shard.served.load(std::memory_order_seq_cst)
+                    >= shard.accepted.load(std::memory_order_seq_cst))
+                return;
+            // Idle backoff: spin briefly for latency, then sleep so
+            // an idle engine does not burn the shard's core.
+            if (++idle < 64)
+                std::this_thread::yield();
+            else
+                std::this_thread::sleep_for(
+                    std::chrono::microseconds(50));
+            continue;
+        }
+        idle = 0;
+        // Busy-time accounting starts once the first pop succeeds:
+        // draining the rest of the batch, grouping and serving are
+        // all serving-path work; idle spins above are not. Thread
+        // CPU time, not wall time — preemption by client threads on
+        // a core-starved host must not count against the shard.
+        std::uint64_t t0 = TenantServer::cpuNs();
+        while (n < config_.max_batch
+               && shard.queue.tryPop(shard.drain[n]))
+            ++n;
+        shard.batches.fetch_add(1, std::memory_order_relaxed);
+        processBatch(shard, n);
+        shard.busy_ns.fetch_add(TenantServer::cpuNs() - t0,
+                                std::memory_order_relaxed);
+    }
+}
+
+void
+AdviceEngine::processBatch(Shard &shard, std::size_t n)
+{
+    // Group the drained requests by tenant, preserving per-tenant
+    // arrival order, and serve each group as one run. Single pass:
+    // each request is appended to its tenant's chain through the
+    // epoch-stamped open-addressed bucket table (stale buckets are
+    // invalidated by the epoch bump — no per-batch clearing), so
+    // grouping is O(n) whatever the tenant mix. Touches only
+    // pre-sized worker-owned scratch — no allocation per batch.
+    constexpr std::uint32_t kNone = 0xFFFFFFFFu;
+    const std::uint64_t epoch = ++shard.epoch;
+    const std::size_t mask = shard.buckets.size() - 1;
+    std::size_t nruns = 0;
+    for (std::uint32_t i = 0; i < n; ++i) {
+        shard.next[i] = kNone;
+        const std::uint64_t tenant = shard.drain[i].tenant;
+        std::size_t b = static_cast<std::size_t>(mix64(tenant)) & mask;
+        for (;;) {
+            RunBucket &bucket = shard.buckets[b];
+            if (bucket.epoch != epoch) {
+                bucket.tenant = tenant;
+                bucket.head = i;
+                bucket.tail = i;
+                bucket.epoch = epoch;
+                shard.order[nruns++] = static_cast<std::uint32_t>(b);
+                break;
+            }
+            if (bucket.tenant == tenant) {
+                shard.next[bucket.tail] = i;
+                bucket.tail = i;
+                break;
+            }
+            b = (b + 1) & mask;
+        }
+    }
+    for (std::size_t k = 0; k < nruns; ++k) {
+        const RunBucket &bucket = shard.buckets[shard.order[k]];
+        std::size_t len = 0;
+        for (std::uint32_t i = bucket.head; i != kNone;
+             i = shard.next[i])
+            shard.run[len++] = &shard.drain[i];
+        TenantState &state = shard.server.tenant(bucket.tenant);
+        shard.server.serveRun(
+            bucket.tenant, state,
+            std::span<const AdviceRequest *const>(shard.run.data(),
+                                                  len),
+            config_.faults, config_.recovery, &pool_.token());
+        shard.served.fetch_add(len, std::memory_order_seq_cst);
+    }
+}
+
+void
+AdviceEngine::stop()
+{
+    stop_.store(true, std::memory_order_seq_cst);
+    std::lock_guard<std::mutex> lock(stop_mutex_);
+    if (joined_)
+        return;
+    for (auto &w : workers_) {
+        if (w.valid())
+            w.get();
+    }
+    joined_ = true;
+}
+
+AdviceEngine::Stats
+AdviceEngine::stats() const
+{
+    Stats out;
+    out.rejected = rejected_.load(std::memory_order_relaxed);
+    for (const auto &shard : shards_) {
+        out.accepted +=
+            shard->accepted.load(std::memory_order_relaxed);
+        out.served += shard->served.load(std::memory_order_relaxed);
+        out.batches += shard->batches.load(std::memory_order_relaxed);
+        out.busy_ns += shard->busy_ns.load(std::memory_order_relaxed);
+        out.quarantined_tenants +=
+            shard->server.quarantinedTenants();
+    }
+    return out;
+}
+
+void
+AdviceEngine::exportMetrics(obs::Registry &registry,
+                            const std::string &prefix) const
+{
+    Stats s = stats();
+    registry.setCounter(prefix + ".accepted", s.accepted);
+    registry.setCounter(prefix + ".served", s.served);
+    registry.setCounter(prefix + ".rejected", s.rejected);
+    registry.setCounter(prefix + ".batches", s.batches);
+    registry.setCounter(prefix + ".quarantined_tenants",
+                        s.quarantined_tenants);
+    registry.setGauge(prefix + ".shards",
+                      static_cast<double>(shards_.size()));
+    registry.setGauge(
+        prefix + ".queue_capacity",
+        static_cast<double>(shards_[0]->queue.capacity()));
+    if (s.batches > 0)
+        registry.setGauge(prefix + ".avg_batch",
+                          static_cast<double>(s.served)
+                              / static_cast<double>(s.batches));
+    registry.setGauge(prefix + ".busy_seconds",
+                      static_cast<double>(s.busy_ns) / 1e9);
+    if (s.busy_ns > 0)
+        registry.setGauge(prefix + ".served_per_busy_sec",
+                          static_cast<double>(s.served) * 1e9
+                              / static_cast<double>(s.busy_ns));
+}
+
+const TenantServer &
+AdviceEngine::server(std::size_t shard) const
+{
+    GLIDER_ASSERT(shard < shards_.size());
+    return shards_[shard]->server;
+}
+
+} // namespace serve
+} // namespace glider

@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Lock-free bounded multi-producer/single-consumer ring for the
+ * advice engine's ingest path (Vyukov's bounded MPMC algorithm,
+ * narrowed to one consumer per shard).
+ *
+ * Every slot carries an atomic sequence number: a producer claims a
+ * ticket with one fetch-add-style CAS on head_, writes the payload,
+ * and publishes by storing seq = ticket + 1; the consumer accepts a
+ * slot only once its sequence shows the payload is published, so a
+ * claimed-but-unwritten slot reads as "empty", never as garbage.
+ * Capacity is fixed at construction (rounded up to a power of two)
+ * and all storage is allocated there — the push/pop hot path is
+ * allocation-free and wait-free for the consumer, lock-free for
+ * producers. tryPush returning false is the backpressure signal.
+ */
+
+#ifndef GLIDER_SERVE_MPSC_QUEUE_HH
+#define GLIDER_SERVE_MPSC_QUEUE_HH
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <utility>
+
+#include "common/logging.hh"
+
+namespace glider {
+namespace serve {
+
+/** Fixed-capacity lock-free MPSC ring queue. */
+template <typename T>
+class MpscRingQueue
+{
+  public:
+    /** @param capacity Slots; rounded up to a power of two (min 2). */
+    explicit MpscRingQueue(std::size_t capacity)
+    {
+        std::size_t cap = 2;
+        while (cap < capacity)
+            cap <<= 1;
+        mask_ = cap - 1;
+        slots_ = std::make_unique<Slot[]>(cap);
+        for (std::size_t i = 0; i < cap; ++i)
+            slots_[i].seq.store(i, std::memory_order_relaxed);
+    }
+
+    MpscRingQueue(const MpscRingQueue &) = delete;
+    MpscRingQueue &operator=(const MpscRingQueue &) = delete;
+
+    std::size_t capacity() const { return mask_ + 1; }
+
+    /**
+     * Enqueue a copy of @p value. Safe from any number of producer
+     * threads concurrently. @return false when the ring is full (the
+     * caller's backpressure signal); the queue is untouched then.
+     */
+    bool
+    tryPush(const T &value)
+    {
+        Slot *slot;
+        std::size_t pos = head_.load(std::memory_order_relaxed);
+        for (;;) {
+            slot = &slots_[pos & mask_];
+            std::size_t seq = slot->seq.load(std::memory_order_acquire);
+            auto dif = static_cast<std::intptr_t>(seq)
+                - static_cast<std::intptr_t>(pos);
+            if (dif == 0) {
+                if (head_.compare_exchange_weak(
+                        pos, pos + 1, std::memory_order_relaxed))
+                    break;
+            } else if (dif < 0) {
+                // The slot one full lap behind is still occupied.
+                return false;
+            } else {
+                pos = head_.load(std::memory_order_relaxed);
+            }
+        }
+        slot->value = value;
+        slot->seq.store(pos + 1, std::memory_order_release);
+        return true;
+    }
+
+    /**
+     * Dequeue into @p out. Single consumer only. @return false when
+     * no published element is available (a producer may still be
+     * mid-write; its element becomes visible once published).
+     */
+    bool
+    tryPop(T &out)
+    {
+        std::size_t pos = tail_.load(std::memory_order_relaxed);
+        Slot *slot = &slots_[pos & mask_];
+        std::size_t seq = slot->seq.load(std::memory_order_acquire);
+        auto dif = static_cast<std::intptr_t>(seq)
+            - static_cast<std::intptr_t>(pos + 1);
+        if (dif < 0)
+            return false; // empty (or claimed but not yet published)
+        GLIDER_ASSERT(dif == 0);
+        out = std::move(slot->value);
+        // Recycle the slot for the producer one lap ahead.
+        slot->seq.store(pos + mask_ + 1, std::memory_order_release);
+        tail_.store(pos + 1, std::memory_order_relaxed);
+        return true;
+    }
+
+    /** Approximate occupancy (telemetry; racy by nature). */
+    std::size_t
+    sizeApprox() const
+    {
+        std::size_t head = head_.load(std::memory_order_relaxed);
+        std::size_t tail = tail_.load(std::memory_order_relaxed);
+        return head >= tail ? head - tail : 0;
+    }
+
+  private:
+    struct Slot
+    {
+        std::atomic<std::size_t> seq{0};
+        T value{};
+    };
+
+    // Producers contend on head_, the consumer owns tail_; keep them
+    // (and the slot array pointer) on separate cache lines.
+    alignas(64) std::atomic<std::size_t> head_{0};
+    alignas(64) std::atomic<std::size_t> tail_{0};
+    alignas(64) std::size_t mask_ = 0;
+    std::unique_ptr<Slot[]> slots_;
+};
+
+} // namespace serve
+} // namespace glider
+
+#endif // GLIDER_SERVE_MPSC_QUEUE_HH

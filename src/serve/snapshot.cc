@@ -1,0 +1,287 @@
+/**
+ * @file
+ * Snapshot/restore of the advice engine's trained tenant state.
+ *
+ * Schema "glider-serve-ckpt" (version 1):
+ * {
+ *   "schema": "glider-serve-ckpt",
+ *   "schema_version": 1,
+ *   "config": { predictor shape + shard count },
+ *   "tenants": {
+ *     "<id>": {
+ *       "quarantined": bool,
+ *       "served": n, "trained": n, "fault_attempts": n,
+ *       "train_updates": n, "train_skips": n,
+ *       "adaptive": { explore/exploit schedule state },
+ *       "pchr": [ resident PCs, LRU -> MRU ],
+ *       "isvm_rows": { "<row index>": [ 16 weights ], ... }
+ *     }, ...
+ *   }
+ * }
+ *
+ * Determinism contract: tenants are emitted in ascending id order,
+ * isvm_rows in ascending row order, only non-zero rows are stored,
+ * and no wall-clock field exists — so snapshot(restore(snapshot(x)))
+ * is byte-identical to snapshot(x). Shard placement is *not* stored:
+ * restore recomputes it from the ids, so a checkpoint taken with N
+ * shards loads correctly into an engine with M.
+ */
+
+#include "advice_engine.hh"
+
+#include <cstdio>
+#include <map>
+#include <stdexcept>
+
+#include "common/logging.hh"
+
+namespace glider {
+namespace serve {
+
+namespace {
+
+constexpr const char *kSchema = "glider-serve-ckpt";
+constexpr int kSchemaVersion = 1;
+
+obs::json::Value
+adaptiveToJson(const core::AdaptiveThreshold::State &s)
+{
+    obs::json::Value out = obs::json::Value::object();
+    out["active"] = obs::json::Value(
+        static_cast<std::uint64_t>(s.active));
+    out["exploring"] = obs::json::Value(s.exploring);
+    out["events"] = obs::json::Value(s.events);
+    out["correct"] = obs::json::Value(s.correct);
+    out["exploit_epochs_left"] =
+        obs::json::Value(s.exploit_epochs_left);
+    obs::json::Value acc = obs::json::Value::array();
+    for (double a : s.accuracy)
+        acc.push(obs::json::Value(a));
+    out["accuracy"] = std::move(acc);
+    out["switches"] = obs::json::Value(s.switches);
+    return out;
+}
+
+core::AdaptiveThreshold::State
+adaptiveFromJson(const obs::json::Value &doc)
+{
+    core::AdaptiveThreshold::State s;
+    s.active = static_cast<std::size_t>(doc.find("active")->integer());
+    s.exploring = doc.find("exploring")->boolean();
+    s.events =
+        static_cast<std::uint64_t>(doc.find("events")->integer());
+    s.correct =
+        static_cast<std::uint64_t>(doc.find("correct")->integer());
+    s.exploit_epochs_left = static_cast<std::uint64_t>(
+        doc.find("exploit_epochs_left")->integer());
+    const obs::json::Value &acc = *doc.find("accuracy");
+    for (std::size_t i = 0; i < 5 && i < acc.size(); ++i)
+        s.accuracy[i] = acc.at(i).number();
+    s.switches =
+        static_cast<std::uint64_t>(doc.find("switches")->integer());
+    return s;
+}
+
+obs::json::Value
+tenantToJson(const TenantState &state)
+{
+    const core::GliderPredictor &pred = state.predictor;
+    obs::json::Value out = obs::json::Value::object();
+    out["quarantined"] = obs::json::Value(state.quarantined);
+    out["served"] = obs::json::Value(state.served);
+    out["trained"] = obs::json::Value(state.trained);
+    out["fault_attempts"] = obs::json::Value(
+        static_cast<std::int64_t>(state.fault_attempts));
+    out["train_updates"] = obs::json::Value(pred.trainUpdates());
+    out["train_skips"] = obs::json::Value(pred.trainSkips());
+    out["adaptive"] = adaptiveToJson(pred.adaptiveState());
+    obs::json::Value pchr = obs::json::Value::array();
+    for (std::uint64_t pc : pred.history(0))
+        pchr.push(obs::json::Value(pc));
+    out["pchr"] = std::move(pchr);
+    obs::json::Value rows = obs::json::Value::object();
+    const core::IsvmTable &table = pred.table();
+    for (std::size_t r = 0; r < table.entries(); ++r) {
+        const std::int8_t *w = table.row(r);
+        bool nonzero = false;
+        for (std::size_t j = 0; j < core::kIsvmWeights; ++j)
+            nonzero = nonzero || w[j] != 0;
+        if (!nonzero)
+            continue;
+        obs::json::Value row = obs::json::Value::array();
+        for (std::size_t j = 0; j < core::kIsvmWeights; ++j)
+            row.push(obs::json::Value(static_cast<int>(w[j])));
+        rows[std::to_string(r)] = std::move(row);
+    }
+    out["isvm_rows"] = std::move(rows);
+    return out;
+}
+
+void
+tenantFromJson(TenantState &state, const obs::json::Value &doc)
+{
+    core::GliderPredictor &pred = state.predictor;
+    state.quarantined = doc.find("quarantined")->boolean();
+    state.served =
+        static_cast<std::uint64_t>(doc.find("served")->integer());
+    state.trained =
+        static_cast<std::uint64_t>(doc.find("trained")->integer());
+    state.fault_attempts =
+        static_cast<int>(doc.find("fault_attempts")->integer());
+    pred.restoreTrainCounters(
+        static_cast<std::uint64_t>(
+            doc.find("train_updates")->integer()),
+        static_cast<std::uint64_t>(doc.find("train_skips")->integer()));
+    pred.restoreAdaptive(adaptiveFromJson(*doc.find("adaptive")));
+    // Replaying the resident PCs oldest-first reproduces both the
+    // LRU order and the incremental slot-count feature exactly.
+    const obs::json::Value &pchr = *doc.find("pchr");
+    for (std::size_t i = 0; i < pchr.size(); ++i)
+        pred.observe(
+            static_cast<std::uint64_t>(pchr.at(i).integer()), 0);
+    const obs::json::Value &rows = *doc.find("isvm_rows");
+    core::IsvmTable &table = pred.table();
+    for (const auto &[key, row] : rows.members()) {
+        std::size_t r = std::stoull(key);
+        if (r >= table.entries())
+            throw std::runtime_error(
+                "glider-serve-ckpt: isvm row " + key
+                + " out of range");
+        std::int8_t *w = table.row(r);
+        for (std::size_t j = 0;
+             j < core::kIsvmWeights && j < row.size(); ++j)
+            w[j] = static_cast<std::int8_t>(row.at(j).integer());
+    }
+}
+
+const obs::json::Value &
+requireMember(const obs::json::Value &doc, const std::string &key)
+{
+    const obs::json::Value *v = doc.find(key);
+    if (v == nullptr)
+        throw std::runtime_error("glider-serve-ckpt: missing member '"
+                                 + key + "'");
+    return *v;
+}
+
+} // namespace
+
+obs::json::Value
+AdviceEngine::snapshotJson() const
+{
+    obs::json::Value out = obs::json::Value::object();
+    out["schema"] = obs::json::Value(kSchema);
+    out["schema_version"] = obs::json::Value(kSchemaVersion);
+    // The shard count is deliberately absent: placement is a pure
+    // function of tenant id, so the same document restores into any
+    // shard layout — and byte-identity survives resharding.
+    obs::json::Value conf = obs::json::Value::object();
+    conf["pchr_size"] = obs::json::Value(
+        static_cast<std::uint64_t>(config_.predictor.pchr_size));
+    conf["isvm_entries"] = obs::json::Value(
+        static_cast<std::uint64_t>(config_.predictor.isvm_entries));
+    conf["confidence_threshold"] =
+        obs::json::Value(config_.predictor.confidence_threshold);
+    conf["adaptive_threshold"] =
+        obs::json::Value(config_.predictor.adaptive_threshold);
+    conf["fixed_threshold"] =
+        obs::json::Value(config_.predictor.fixed_threshold);
+    out["config"] = std::move(conf);
+
+    // Merge the per-shard tenant maps into one ascending-id view so
+    // the document layout is independent of the shard count.
+    std::map<std::uint64_t, const TenantState *> all;
+    for (const auto &shard : shards_) {
+        GLIDER_ASSERT(
+            shard->accepted.load(std::memory_order_seq_cst)
+            == shard->served.load(std::memory_order_seq_cst));
+        for (const auto &[id, state] : shard->server.tenants())
+            all.emplace(id, state.get());
+    }
+    obs::json::Value tenants = obs::json::Value::object();
+    for (const auto &[id, state] : all)
+        tenants[std::to_string(id)] = tenantToJson(*state);
+    out["tenants"] = std::move(tenants);
+    return out;
+}
+
+void
+AdviceEngine::restoreJson(const obs::json::Value &doc)
+{
+    if (requireMember(doc, "schema").str() != kSchema)
+        throw std::runtime_error(
+            "glider-serve-ckpt: unexpected schema");
+    if (requireMember(doc, "schema_version").integer()
+        != kSchemaVersion)
+        throw std::runtime_error(
+            "glider-serve-ckpt: unsupported schema version");
+    const obs::json::Value &conf = requireMember(doc, "config");
+    if (static_cast<std::size_t>(
+            requireMember(conf, "pchr_size").integer())
+            != config_.predictor.pchr_size
+        || static_cast<std::size_t>(
+               requireMember(conf, "isvm_entries").integer())
+            != config_.predictor.isvm_entries
+        || static_cast<int>(
+               requireMember(conf, "confidence_threshold").integer())
+            != config_.predictor.confidence_threshold
+        || requireMember(conf, "adaptive_threshold").boolean()
+            != config_.predictor.adaptive_threshold
+        || static_cast<int>(
+               requireMember(conf, "fixed_threshold").integer())
+            != config_.predictor.fixed_threshold)
+        throw std::runtime_error(
+            "glider-serve-ckpt: predictor config mismatch");
+    const obs::json::Value &tenants = requireMember(doc, "tenants");
+    for (const auto &[key, tenant_doc] : tenants.members()) {
+        std::uint64_t id = std::stoull(key);
+        Shard &shard = *shards_[shardOf(id)];
+        tenantFromJson(shard.server.resetTenant(id), tenant_doc);
+    }
+}
+
+bool
+AdviceEngine::saveSnapshot(const std::string &path) const
+{
+    std::string doc = snapshotJson().dump();
+    doc += '\n';
+    std::string tmp = path + ".tmp";
+    std::FILE *f = std::fopen(tmp.c_str(), "w");
+    if (f == nullptr) {
+        GLIDER_WARN("serve snapshot: cannot open " + tmp);
+        return false;
+    }
+    std::size_t n = std::fwrite(doc.data(), 1, doc.size(), f);
+    bool closed = std::fclose(f) == 0;
+    if (n != doc.size() || !closed) {
+        GLIDER_WARN("serve snapshot: short write to " + tmp);
+        std::remove(tmp.c_str());
+        return false;
+    }
+    // Atomic replace: a kill leaves the old or the new complete
+    // file, never a torn one.
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+        GLIDER_WARN("serve snapshot: rename to " + path + " failed");
+        return false;
+    }
+    return true;
+}
+
+bool
+AdviceEngine::loadSnapshot(const std::string &path)
+{
+    std::FILE *f = std::fopen(path.c_str(), "r");
+    if (f == nullptr)
+        return false;
+    std::string text;
+    char buf[4096];
+    std::size_t n;
+    while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0)
+        text.append(buf, n);
+    std::fclose(f);
+    restoreJson(obs::json::Value::parse(text));
+    return true;
+}
+
+} // namespace serve
+} // namespace glider

@@ -7,9 +7,13 @@
  * replacement policy inside verify::CheckedHierarchy, so every access
  * runs under the full structural-invariant sweep (shadow tag array,
  * flow conservation, counter coherence, LRU reference model for the
- * LRU policy). Each trace additionally runs a "MIN" differential:
- * the replaying BeladyPolicy must reproduce the hit count of the
- * batch simulateBelady oracle on the extracted LLC stream.
+ * LRU policy). Each trace additionally runs a "MIN" differential
+ * (the replaying BeladyPolicy must reproduce the hit count of the
+ * batch simulateBelady oracle on the extracted LLC stream) and an
+ * "ADVICE" differential (the multi-core run with a randomly chosen
+ * SimOptions::advice_batch must leave every cache statistic and
+ * per-core IPC bit-identical to the unprobed run — the batched
+ * advice path is observation-only).
  *
  * On failure the trace prefix is shrunk while the failure reproduces,
  * then a one-line reproducer is printed:
@@ -33,6 +37,7 @@
 #include <string>
 #include <vector>
 
+#include "cachesim/simulator.hh"
 #include "common/hash.hh"
 #include "common/rng.hh"
 #include "core/policy_factory.hh"
@@ -137,13 +142,78 @@ makeScenario(std::uint64_t seed, std::uint64_t case_index,
     return s;
 }
 
-/** All policies a scenario runs, MIN differential last. */
+/** All policies a scenario runs, differential modes last. */
 std::vector<std::string>
 policyLineup()
 {
     std::vector<std::string> names = core::policyNames();
     names.push_back("MIN");
+    names.push_back("ADVICE");
     return names;
+}
+
+/**
+ * "ADVICE" differential: replay the scenario through the multi-core
+ * driver twice — once plain, once with a case-derived
+ * SimOptions::advice_batch in [1, 64] — and demand bit-identical
+ * hit/miss/eviction counts and per-core IPC. The probe is documented
+ * as pure observation, so *any* divergence is a bug in the batched
+ * advice path (or in the predictor's batch/scalar equivalence).
+ */
+std::optional<std::string>
+runAdviceCase(std::uint64_t seed, std::uint64_t case_index,
+              const Scenario &s)
+{
+    // Split the flat trace into per-core streams the way the mix
+    // drivers feed runMultiCore (trace index = core).
+    std::vector<traces::Trace> streams(s.cores);
+    for (const auto &rec : s.trace)
+        streams[rec.core].push(rec.pc, rec.address, rec.is_write, 0);
+    std::vector<const traces::Trace *> mix;
+    std::uint64_t quota = 1;
+    for (const auto &t : streams) {
+        if (t.empty())
+            continue;
+        mix.push_back(&t);
+        if (t.size() > quota)
+            quota = t.size();
+    }
+    if (mix.empty())
+        return std::nullopt;
+
+    Rng rng(hashCombine(mix64(seed) ^ 0xAD51CEull, case_index));
+    auto batch = static_cast<std::size_t>(1 + rng.below(64));
+
+    sim::SimOptions plain;
+    plain.hierarchy = s.hier;
+    plain.warmup_fraction = 0.25;
+    sim::SimOptions probed = plain;
+    probed.advice_batch = batch;
+    auto base = sim::runMultiCore(mix, core::makePolicy("Glider"),
+                                  quota, plain);
+    auto with = sim::runMultiCore(mix, core::makePolicy("Glider"),
+                                  quota, probed);
+
+    verify::require(base.llc.hits == with.llc.hits
+                        && base.llc.misses == with.llc.misses
+                        && base.llc.accesses == with.llc.accesses
+                        && base.llc.evictions == with.llc.evictions,
+                    "ADVICE differential: enabling the batched advice "
+                    "probe changed LLC hit/miss/eviction counts");
+    verify::require(base.ipc_shared == with.ipc_shared,
+                    "ADVICE differential: enabling the batched advice "
+                    "probe changed per-core IPC");
+    verify::require(base.advice_queries == 0
+                        && base.advice_batches == 0,
+                    "ADVICE differential: unprobed run reported "
+                    "advice tallies");
+    verify::require(with.advice_queries == with.advice_batches * batch,
+                    "ADVICE differential: probe served a partial "
+                    "window");
+    verify::require(with.advice_friendly <= with.advice_queries,
+                    "ADVICE differential: friendly answers exceed "
+                    "queries");
+    return std::nullopt;
 }
 
 /**
@@ -156,7 +226,9 @@ runCase(std::uint64_t seed, std::uint64_t case_index,
 {
     Scenario s = makeScenario(seed, case_index, len_override);
     try {
-        if (policy == "MIN") {
+        if (policy == "ADVICE") {
+            return runAdviceCase(seed, case_index, s);
+        } else if (policy == "MIN") {
             // Differential: the replaying BeladyPolicy must reproduce
             // the batch oracle's hit count on the same LLC stream.
             traces::Trace llc = opt::extractLlcStream(s.trace, s.hier);

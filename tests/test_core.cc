@@ -63,6 +63,105 @@ TEST(Isvm, SlotHashWithinSixteen)
         EXPECT_LT(Isvm::slotOf(pc * 4 + 0x400000), 16u);
 }
 
+// Regression tests for the one-hash contract (a pre-existing bug
+// hashed every history PC twice per train: once for the threshold
+// check, once for the update). The thread-local invocation counter
+// in isvmSlotOf makes the contract directly observable.
+
+TEST(Isvm, TrainHashesEachHistoryPcExactlyOnce)
+{
+    Isvm isvm;
+    opt::PcHistory h{100, 200, 300, 400, 500};
+    std::uint64_t before = isvmSlotHashCount();
+    isvm.train(h, true, 1000);
+    EXPECT_EQ(isvmSlotHashCount() - before, h.size())
+        << "train must hash each history PC exactly once "
+           "(double-hash regression)";
+
+    // A threshold-skipped train still costs exactly one hash per PC:
+    // the same feature serves the check and the (skipped) update.
+    for (int i = 0; i < 50; ++i)
+        isvm.train(h, true, 10);
+    ASSERT_GT(isvm.predict(h), 10); // next positive train skips
+    before = isvmSlotHashCount();
+    isvm.train(h, true, 10);
+    EXPECT_EQ(isvmSlotHashCount() - before, h.size());
+}
+
+TEST(Isvm, TrainMatchesHandHashedExpectation)
+{
+    // Pin the update against slots computed from the published hash
+    // (the top 4 bits of the splitmix/murmur finalizer), written out
+    // by hand so a change to isvmSlotOf's hashing cannot hide.
+    auto hand_slot = [](std::uint64_t pc) {
+        std::uint64_t x = pc;
+        x ^= x >> 33;
+        x *= 0xFF51AFD7ED558CCDull;
+        x ^= x >> 33;
+        x *= 0xC4CEB9FE1A85EC53ull;
+        x ^= x >> 33;
+        return static_cast<std::size_t>(x >> 60);
+    };
+    opt::PcHistory h{0xA0, 0xB4, 0xC8, 0xDC, 0xF0};
+    Isvm isvm;
+    isvm.train(h, true, 0); // sum 0 is not above threshold: applies
+    int want[16] = {};
+    for (std::uint64_t pc : h)
+        ++want[hand_slot(pc)];
+    auto weights = isvm.weights();
+    for (std::size_t j = 0; j < Isvm::kWeights; ++j)
+        EXPECT_EQ(static_cast<int>(weights[j]), want[j])
+            << "slot " << j;
+}
+
+TEST(GliderPredictor, TrainHashesEachHistoryPcExactlyOnce)
+{
+    GliderPredictor pred;
+    opt::PcHistory h{0x10, 0x20, 0x30, 0x40, 0x50};
+    std::uint64_t before = isvmSlotHashCount();
+    pred.train(0x99, 0, h, true);
+    EXPECT_EQ(isvmSlotHashCount() - before, h.size());
+}
+
+TEST(GliderPredictor, PerAccessPredictionIsHashFree)
+{
+    // The PCHR maintains the slot-count feature incrementally, so a
+    // prediction against the live history costs zero slot hashes.
+    GliderPredictor pred;
+    for (std::uint64_t pc = 1; pc <= 5; ++pc)
+        pred.observe(pc * 64, 0);
+    std::uint64_t before = isvmSlotHashCount();
+    pred.decisionSum(0x1234, 0);
+    EXPECT_EQ(isvmSlotHashCount() - before, 0u);
+
+    // The batched path with a pre-resolved feature is hash-free too.
+    SlotCounts counts = pred.historyCounts(0);
+    PredictRequest req;
+    req.pc = 0x1234;
+    req.counts = &counts;
+    Prediction out;
+    before = isvmSlotHashCount();
+    pred.predictMany(std::span<const PredictRequest>(&req, 1),
+                     std::span<Prediction>(&out, 1));
+    EXPECT_EQ(isvmSlotHashCount() - before, 0u);
+}
+
+TEST(Pchr, ObserveHashesIncrementally)
+{
+    PcHistoryRegister pchr(3);
+    std::uint64_t before = isvmSlotHashCount();
+    pchr.observe(100); // new PC: one hash to add its slot
+    EXPECT_EQ(isvmSlotHashCount() - before, 1u);
+    before = isvmSlotHashCount();
+    pchr.observe(100); // refresh: no hashing at all
+    EXPECT_EQ(isvmSlotHashCount() - before, 0u);
+    pchr.observe(200);
+    pchr.observe(300);
+    before = isvmSlotHashCount();
+    pchr.observe(400); // insert + evict LRU: two hashes
+    EXPECT_EQ(isvmSlotHashCount() - before, 2u);
+}
+
 TEST(Isvm, TrainingMovesPrediction)
 {
     Isvm isvm;

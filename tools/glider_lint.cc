@@ -646,13 +646,16 @@ isHotPathFile(const std::string &rel)
 {
     // The vectorized prediction stack (PCHR feature maintenance, the
     // SoA ISVM table, predictMany, and the SIMD kernels) is as hot as
-    // the simulator proper: every LLC access runs through it.
+    // the simulator proper: every LLC access runs through it. The
+    // serving layer's ingest ring carries every advice request, so
+    // its push/pop path is held to the same no-allocation rule.
     static const std::set<std::string> hot_files = {
         "src/common/simd.hh",
         "src/core/glider_policy.hh",
         "src/core/glider_predictor.hh",
         "src/core/isvm.hh",
         "src/core/pc_history_register.hh",
+        "src/serve/mpsc_queue.hh",
     };
     return startsWith(rel, "src/cachesim/")
         || startsWith(rel, "src/policies/")
