@@ -120,6 +120,29 @@ buildTrace(const std::string &name)
     return workloads::cachedTrace(name, traceAccesses());
 }
 
+/**
+ * The access stream for one workload at the bench length, behind the
+ * generate-once/stream-many switch: with $GLIDER_TRACE_SPILL set the
+ * trace is spilled to (or reused from) an on-disk gtrace and streamed
+ * chunk by chunk with O(1) resident memory; otherwise it wraps the
+ * in-memory cached trace. Both deliver identical records, so results
+ * are bit-identical either way.
+ */
+inline std::unique_ptr<sim::AccessSource>
+buildSource(const std::string &name)
+{
+    if (workloads::traceSpillEnabled()) {
+        std::string path =
+            workloads::ensureSpilledTrace(name, traceAccesses());
+        traces::StreamingTrace st;
+        std::string error;
+        if (!st.open(path, &error))
+            GLIDER_FATAL("cannot stream " + path + ": " + error);
+        return std::make_unique<sim::StreamingSource>(std::move(st));
+    }
+    return std::make_unique<sim::TraceSource>(buildTrace(name));
+}
+
 /** Run one workload trace under one policy (single core). */
 inline sim::SingleCoreResult
 runPolicy(const traces::Trace &trace, const std::string &policy)
@@ -136,6 +159,16 @@ runPolicy(const traces::Trace &trace, const std::string &policy,
     sim::SimOptions opts;
     opts.cancel = &cancel;
     return sim::runSingleCore(trace, core::makePolicy(policy), opts);
+}
+
+/** runPolicy over any access source (in-memory or streaming). */
+inline sim::SingleCoreResult
+runPolicy(sim::AccessSource &source, const std::string &policy,
+          const CancelToken *cancel = nullptr)
+{
+    sim::SimOptions opts;
+    opts.cancel = cancel;
+    return sim::runSingleCore(source, core::makePolicy(policy), opts);
 }
 
 /** Percentage change helpers. */
@@ -297,8 +330,8 @@ class SweepRunner
     {
         queueCell(workload + "/" + policy,
                   [workload, policy](const CancelToken &cancel) {
-                      return runPolicy(buildTrace(workload), policy,
-                                       cancel);
+                      auto source = buildSource(workload);
+                      return runPolicy(*source, policy, &cancel);
                   });
     }
 

@@ -17,41 +17,57 @@ namespace {
  */
 constexpr std::uint64_t kCancelCheckMask = 4095;
 
+/**
+ * Per-core read cursor over an AccessSource: a position inside the
+ * current chunk. Refilling walks to the next chunk and wraps (rewind)
+ * at end-of-stream, which is exactly the old in-memory
+ * `cursor = (cursor + 1) % size` early-finisher rule.
+ */
+struct ChunkCursor
+{
+    std::span<const traces::AccessRecord> chunk;
+    std::size_t pos = 0;
+};
+
 } // namespace
 
 SingleCoreResult
-runSingleCore(const traces::Trace &trace,
+runSingleCore(AccessSource &source,
               std::unique_ptr<ReplacementPolicy> llc_policy,
               const SimOptions &opts)
 {
-    GLIDER_ASSERT(!trace.empty());
+    GLIDER_ASSERT(source.size() > 0);
     Hierarchy hier(opts.hierarchy, 1, std::move(llc_policy));
     CoreModel core(opts.core);
 
     SingleCoreResult res;
-    res.workload = trace.name();
+    res.workload = source.name();
     res.policy = hier.llc().policy().name();
 
-    auto warmup_end = static_cast<std::size_t>(
-        opts.warmup_fraction * static_cast<double>(trace.size()));
+    auto warmup_end = static_cast<std::uint64_t>(
+        opts.warmup_fraction * static_cast<double>(source.size()));
     auto start = std::chrono::steady_clock::now();
-    for (std::size_t i = 0; i < trace.size(); ++i) {
-        if (opts.cancel && (i & kCancelCheckMask) == 0)
-            opts.cancel->throwIfCancelled();
-        const auto &rec = trace[i];
-        AccessDepth depth =
-            hier.access(0, rec.pc, rec.address, rec.is_write);
-        core.step(depth, hier.latency(depth));
-        if (i + 1 == warmup_end) {
-            hier.clearStatsCounters();
-            core.clearCounters();
+    source.rewind();
+    std::uint64_t i = 0;
+    for (auto chunk = source.nextChunk(); !chunk.empty();
+         chunk = source.nextChunk()) {
+        for (const auto &rec : chunk) {
+            if (opts.cancel && (i & kCancelCheckMask) == 0)
+                opts.cancel->throwIfCancelled();
+            AccessDepth depth =
+                hier.access(0, rec.pc, rec.address, rec.is_write);
+            core.step(depth, hier.latency(depth));
+            if (++i == warmup_end) {
+                hier.clearStatsCounters();
+                core.clearCounters();
+            }
         }
     }
     core.finish();
     res.sim_seconds = std::chrono::duration<double>(
                           std::chrono::steady_clock::now() - start)
                           .count();
-    res.accesses_simulated = trace.size();
+    res.accesses_simulated = i;
 
     res.instructions = core.instructions();
     res.cycles = core.cycles();
@@ -60,25 +76,37 @@ runSingleCore(const traces::Trace &trace,
     return res;
 }
 
+SingleCoreResult
+runSingleCore(const traces::Trace &trace,
+              std::unique_ptr<ReplacementPolicy> llc_policy,
+              const SimOptions &opts)
+{
+    GLIDER_ASSERT(!trace.empty());
+    TraceSource source(trace);
+    return runSingleCore(source, std::move(llc_policy), opts);
+}
+
 MultiCoreResult
-runMultiCore(const std::vector<const traces::Trace *> &traces,
+runMultiCore(std::span<AccessSource *const> sources,
              std::unique_ptr<ReplacementPolicy> llc_policy,
              std::uint64_t min_accesses_per_core, const SimOptions &opts)
 {
-    auto cores = static_cast<unsigned>(traces.size());
+    auto cores = static_cast<unsigned>(sources.size());
     GLIDER_ASSERT(cores >= 1);
-    for (auto *t : traces)
-        GLIDER_ASSERT(t && !t->empty());
+    for (auto *s : sources)
+        GLIDER_ASSERT(s && s->size() > 0);
 
     Hierarchy hier(opts.hierarchy, cores, std::move(llc_policy));
     std::vector<CoreModel> models(cores, CoreModel(opts.core));
-    std::vector<std::size_t> cursor(cores, 0);
+    std::vector<ChunkCursor> cursor(cores);
     std::vector<std::uint64_t> executed(cores, 0);
 
     MultiCoreResult res;
     res.policy = hier.llc().policy().name();
-    for (auto *t : traces)
-        res.workloads.push_back(t->name()); // glider-lint: allow(hotpath-alloc) per-run setup
+    for (auto *s : sources) {
+        s->rewind();
+        res.workloads.push_back(s->name()); // glider-lint: allow(hotpath-alloc) per-run setup
+    }
 
     // Optional batched-advice probe: accumulate a window of recent
     // accesses and replay it through the policy's batch interface
@@ -110,7 +138,7 @@ runMultiCore(const std::vector<const traces::Trace *> &traces,
     // Timing-ordered interleave: always advance the core with the
     // lowest accumulated cycle count, which is how simultaneous
     // execution serialises onto the shared LLC. All cores keep
-    // running (with trace rewind) until every core has executed its
+    // running (with stream rewind) until every core has executed its
     // measured quota — the paper's early-finisher rewind rule.
     std::uint64_t iterations = 0;
     while (!warm || pending_cores > 0) {
@@ -121,9 +149,14 @@ runMultiCore(const std::vector<const traces::Trace *> &traces,
             if (models[c].cycles() < models[next].cycles())
                 next = c;
         }
-        const traces::Trace &t = *traces[next];
-        const auto &rec = t[cursor[next]];
-        cursor[next] = (cursor[next] + 1) % t.size();
+        ChunkCursor &cur = cursor[next];
+        while (cur.pos >= cur.chunk.size()) {
+            cur.chunk = sources[next]->nextChunk();
+            cur.pos = 0;
+            if (cur.chunk.empty())
+                sources[next]->rewind();
+        }
+        const auto &rec = cur.chunk[cur.pos++];
         // Each core runs its own process: disambiguate the virtual
         // address spaces (workload kernels all allocate from the
         // same base) by folding the core id into the high bits.
@@ -177,6 +210,27 @@ runMultiCore(const std::vector<const traces::Trace *> &traces,
     }
     res.llc = hier.llc().stats();
     return res;
+}
+
+MultiCoreResult
+runMultiCore(const std::vector<const traces::Trace *> &traces,
+             std::unique_ptr<ReplacementPolicy> llc_policy,
+             std::uint64_t min_accesses_per_core, const SimOptions &opts)
+{
+    for (auto *t : traces)
+        GLIDER_ASSERT(t && !t->empty());
+    std::vector<TraceSource> wrapped;
+    // glider-lint: allow(hotpath-alloc) per-run setup
+    wrapped.reserve(traces.size());
+    for (auto *t : traces)
+        wrapped.emplace_back(*t); // glider-lint: allow(hotpath-alloc) per-run setup
+    std::vector<AccessSource *> sources;
+    // glider-lint: allow(hotpath-alloc) per-run setup
+    sources.reserve(wrapped.size());
+    for (auto &w : wrapped)
+        sources.push_back(&w); // glider-lint: allow(hotpath-alloc) per-run setup
+    return runMultiCore(sources, std::move(llc_policy),
+                        min_accesses_per_core, opts);
 }
 
 } // namespace sim

@@ -9,9 +9,11 @@
 #ifndef GLIDER_CACHESIM_SIMULATOR_HH
 #define GLIDER_CACHESIM_SIMULATOR_HH
 
+#include <span>
 #include <string>
 #include <vector>
 
+#include "access_source.hh"
 #include "common/cancellation.hh"
 #include "core_model.hh"
 #include "hierarchy.hh"
@@ -94,22 +96,37 @@ struct SimOptions
 };
 
 /**
- * Run @p trace on a single core with @p llc_policy in the LLC.
+ * Run @p source on a single core with @p llc_policy in the LLC.
  * The first warmup_fraction of accesses prime the caches, then all
  * counters reset and the remainder is measured (the paper warms 200M
- * instructions and measures 1B).
+ * instructions and measures 1B). This is the one replay loop — the
+ * Trace overload delegates here, so streamed and in-memory runs are
+ * bit-identical by construction.
  */
+SingleCoreResult runSingleCore(AccessSource &source,
+                               std::unique_ptr<ReplacementPolicy>
+                                   llc_policy,
+                               const SimOptions &opts = SimOptions());
+
+/** In-memory convenience overload of the AccessSource driver. */
 SingleCoreResult runSingleCore(const traces::Trace &trace,
                                std::unique_ptr<ReplacementPolicy>
                                    llc_policy,
                                const SimOptions &opts = SimOptions());
 
 /**
- * Run one trace per core simultaneously against a shared LLC.
- * Cores proceed in timing order; a core whose trace is exhausted
+ * Run one source per core simultaneously against a shared LLC.
+ * Cores proceed in timing order; a core whose stream is exhausted
  * rewinds until every core has executed @p min_accesses_per_core
  * measured accesses (the paper's 250M-instruction rule).
  */
+MultiCoreResult runMultiCore(std::span<AccessSource *const> sources,
+                             std::unique_ptr<ReplacementPolicy>
+                                 llc_policy,
+                             std::uint64_t min_accesses_per_core,
+                             const SimOptions &opts);
+
+/** In-memory convenience overload of the AccessSource driver. */
 MultiCoreResult runMultiCore(const std::vector<const traces::Trace *>
                                  &traces,
                              std::unique_ptr<ReplacementPolicy>

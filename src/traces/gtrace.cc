@@ -1,0 +1,426 @@
+#include "gtrace.hh"
+
+#include <cstring>
+#include <stdexcept>
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include "common/logging.hh"
+
+namespace glider {
+namespace traces {
+
+namespace {
+
+constexpr char kMagic[8] = {'G', 'L', 'D', 'R', 'G', 'T', 'R', '1'};
+constexpr std::uint32_t kVersion = 1;
+constexpr std::uint32_t kChunkMagic = 0x4B4E4843; // "CHNK"
+constexpr std::uint32_t kEndMagic = 0x444E4547;   // "GEND"
+
+/** FNV-1a 64 over a byte range. */
+std::uint64_t
+fnv1a(const std::uint8_t *p, std::uint64_t n)
+{
+    std::uint64_t h = 0xCBF29CE484222325ull;
+    for (std::uint64_t i = 0; i < n; ++i) {
+        h ^= p[i];
+        h *= 0x100000001B3ull;
+    }
+    return h;
+}
+
+std::uint64_t
+zigzagEncode(std::uint64_t cur, std::uint64_t prev)
+{
+    // Delta modulo 2^64, then zigzag so small jumps either way stay
+    // small. C++20 guarantees the arithmetic right shift.
+    auto d = static_cast<std::int64_t>(cur - prev);
+    return (static_cast<std::uint64_t>(d) << 1)
+        ^ static_cast<std::uint64_t>(d >> 63);
+}
+
+std::uint64_t
+zigzagDecode(std::uint64_t z, std::uint64_t prev)
+{
+    std::uint64_t d = (z >> 1) ^ (0 - (z & 1));
+    return prev + d;
+}
+
+/** Fixed-width little-endian field helpers for the framing. */
+template <typename T>
+bool
+writeRaw(std::FILE *f, T v)
+{
+    return std::fwrite(&v, sizeof(v), 1, f) == 1;
+}
+
+template <typename T>
+bool
+readRaw(const std::uint8_t *base, std::uint64_t bytes,
+        std::uint64_t &off, T &out)
+{
+    if (off + sizeof(T) > bytes)
+        return false;
+    std::memcpy(&out, base + off, sizeof(T));
+    off += sizeof(T);
+    return true;
+}
+
+} // namespace
+
+// ---------------------------------------------------------------- writer
+
+GtraceWriter::~GtraceWriter()
+{
+    if (file_ != nullptr) {
+        std::fclose(file_);
+        file_ = nullptr;
+    }
+}
+
+bool
+GtraceWriter::open(const std::string &path, const std::string &name,
+                   std::uint32_t chunk_target)
+{
+    GLIDER_ASSERT(file_ == nullptr);
+    GLIDER_ASSERT(chunk_target >= 1);
+    file_ = std::fopen(path.c_str(), "wb");
+    if (file_ == nullptr)
+        return false;
+    chunk_target_ = chunk_target;
+    // glider-lint: allow(hotpath-alloc) encode buffer sized once per file
+    buf_.resize(static_cast<std::size_t>(chunk_target)
+                * gtrace::kMaxRecordBytes);
+    used_ = 0;
+    ok_ = std::fwrite(kMagic, sizeof(kMagic), 1, file_) == 1
+        && writeRaw(file_, kVersion)
+        && writeRaw(file_,
+                    static_cast<std::uint32_t>(name.size()))
+        && (name.empty()
+            || std::fwrite(name.data(), name.size(), 1, file_) == 1)
+        && writeRaw(file_, chunk_target_)
+        && writeRaw(file_, std::uint32_t{0});
+    return ok_;
+}
+
+void
+GtraceWriter::putVarint(std::uint64_t v)
+{
+    while (v >= 0x80) {
+        put8(static_cast<std::uint8_t>(v) | 0x80);
+        v >>= 7;
+    }
+    put8(static_cast<std::uint8_t>(v));
+}
+
+void
+GtraceWriter::push(const AccessRecord &rec)
+{
+    GLIDER_ASSERT(file_ != nullptr && !finished_);
+    put8(static_cast<std::uint8_t>(rec.core << 1)
+         | static_cast<std::uint8_t>(rec.is_write ? 1 : 0));
+    putVarint(zigzagEncode(rec.pc, prev_pc_));
+    putVarint(zigzagEncode(rec.address, prev_addr_));
+    prev_pc_ = rec.pc;
+    prev_addr_ = rec.address;
+    ++pushed_;
+    if (++chunk_records_ == chunk_target_)
+        flushChunk();
+}
+
+void
+GtraceWriter::flushChunk()
+{
+    if (chunk_records_ == 0)
+        return;
+    ok_ = ok_ && writeRaw(file_, kChunkMagic)
+        && writeRaw(file_, chunk_records_)
+        && writeRaw(file_, static_cast<std::uint64_t>(used_))
+        && writeRaw(file_, fnv1a(buf_.data(), used_))
+        && std::fwrite(buf_.data(), 1, used_, file_) == used_;
+    ++chunk_count_;
+    chunk_records_ = 0;
+    used_ = 0;
+    // Chunks decode independently: the first record of the next chunk
+    // is a delta from (0, 0) again.
+    prev_pc_ = 0;
+    prev_addr_ = 0;
+}
+
+bool
+GtraceWriter::finish()
+{
+    if (file_ == nullptr || finished_)
+        return false;
+    finished_ = true;
+    flushChunk();
+    ok_ = ok_ && writeRaw(file_, kEndMagic)
+        && writeRaw(file_, std::uint32_t{0})
+        && writeRaw(file_, pushed_) && writeRaw(file_, chunk_count_);
+    bool closed = std::fclose(file_) == 0;
+    file_ = nullptr;
+    return ok_ && closed;
+}
+
+// ---------------------------------------------------------------- reader
+
+StreamingTrace::~StreamingTrace() { close(); }
+
+StreamingTrace::StreamingTrace(StreamingTrace &&other) noexcept
+{
+    *this = std::move(other);
+}
+
+StreamingTrace &
+StreamingTrace::operator=(StreamingTrace &&other) noexcept
+{
+    if (this != &other) {
+        close();
+        path_ = std::move(other.path_);
+        name_ = std::move(other.name_);
+        base_ = other.base_;
+        map_bytes_ = other.map_bytes_;
+        total_records_ = other.total_records_;
+        chunk_target_ = other.chunk_target_;
+        max_chunk_records_ = other.max_chunk_records_;
+        chunks_ = std::move(other.chunks_);
+        other.base_ = nullptr;
+        other.map_bytes_ = 0;
+    }
+    return *this;
+}
+
+void
+StreamingTrace::close()
+{
+    if (base_ != nullptr) {
+        ::munmap(const_cast<std::uint8_t *>(base_), map_bytes_);
+        base_ = nullptr;
+        map_bytes_ = 0;
+    }
+    chunks_.clear();
+    total_records_ = 0;
+}
+
+namespace {
+
+bool
+fail(std::string *error, const std::string &what)
+{
+    if (error != nullptr)
+        *error = what;
+    return false;
+}
+
+} // namespace
+
+bool
+StreamingTrace::open(const std::string &path, std::string *error)
+{
+    close();
+    int fd = ::open(path.c_str(), O_RDONLY);
+    if (fd < 0)
+        return fail(error, "cannot open " + path);
+    struct stat st = {};
+    if (::fstat(fd, &st) != 0 || st.st_size < 0) {
+        ::close(fd);
+        return fail(error, "cannot stat " + path);
+    }
+    auto bytes = static_cast<std::uint64_t>(st.st_size);
+    if (bytes == 0) {
+        ::close(fd);
+        return fail(error, path + ": empty file");
+    }
+    void *map = ::mmap(nullptr, bytes, PROT_READ, MAP_PRIVATE, fd, 0);
+    ::close(fd);
+    if (map == MAP_FAILED)
+        return fail(error, "cannot mmap " + path);
+    base_ = static_cast<const std::uint8_t *>(map);
+    map_bytes_ = bytes;
+    ::madvise(map, bytes, MADV_SEQUENTIAL);
+
+    // Header.
+    std::uint64_t off = 0;
+    if (bytes < sizeof(kMagic)
+        || std::memcmp(base_, kMagic, sizeof(kMagic)) != 0) {
+        close();
+        return fail(error, path + ": bad magic (not a gtrace file)");
+    }
+    off = sizeof(kMagic);
+    std::uint32_t version = 0;
+    std::uint32_t name_len = 0;
+    if (!readRaw(base_, bytes, off, version)
+        || !readRaw(base_, bytes, off, name_len)) {
+        close();
+        return fail(error, path + ": truncated header");
+    }
+    if (version != kVersion) {
+        close();
+        return fail(error,
+                    path + ": unsupported gtrace version "
+                        + std::to_string(version));
+    }
+    if (off + name_len > bytes) {
+        close();
+        return fail(error, path + ": truncated trace name");
+    }
+    // glider-lint: allow(hotpath-alloc) header parse, once per open
+    name_.assign(reinterpret_cast<const char *>(base_) + off, name_len);
+    off += name_len;
+    std::uint32_t reserved = 0;
+    if (!readRaw(base_, bytes, off, chunk_target_)
+        || !readRaw(base_, bytes, off, reserved)
+        || chunk_target_ == 0) {
+        close();
+        return fail(error, path + ": truncated or corrupt header");
+    }
+
+    // Chunk index: walk the framing without touching payloads.
+    std::uint64_t total = 0;
+    // glider-lint: allow(hotpath-alloc) index built once per open
+    chunks_.reserve(static_cast<std::size_t>(bytes / 64 + 1));
+    for (;;) {
+        std::uint32_t marker = 0;
+        if (!readRaw(base_, bytes, off, marker)) {
+            close();
+            return fail(error,
+                        path + ": truncated where a chunk or trailer "
+                               "marker was expected");
+        }
+        if (marker == kEndMagic)
+            break;
+        if (marker != kChunkMagic) {
+            close();
+            return fail(error, path + ": corrupt chunk marker");
+        }
+        ChunkRef ref;
+        if (!readRaw(base_, bytes, off, ref.records)
+            || !readRaw(base_, bytes, off, ref.payload_bytes)
+            || !readRaw(base_, bytes, off, ref.checksum)) {
+            close();
+            return fail(error, path + ": truncated chunk header");
+        }
+        if (ref.records == 0 || ref.records > chunk_target_
+            || ref.payload_bytes
+                > static_cast<std::uint64_t>(ref.records)
+                    * gtrace::kMaxRecordBytes
+            || off + ref.payload_bytes > bytes) {
+            close();
+            return fail(error,
+                        path + ": chunk bounds exceed the file "
+                               "(truncated or corrupt)");
+        }
+        ref.payload_offset = off;
+        off += ref.payload_bytes;
+        total += ref.records;
+        if (ref.records > max_chunk_records_)
+            max_chunk_records_ = ref.records;
+        // glider-lint: allow(hotpath-alloc) index built once per open
+        chunks_.push_back(ref);
+    }
+
+    // Trailer.
+    std::uint32_t t_reserved = 0;
+    std::uint64_t t_records = 0;
+    std::uint64_t t_chunks = 0;
+    if (!readRaw(base_, bytes, off, t_reserved)
+        || !readRaw(base_, bytes, off, t_records)
+        || !readRaw(base_, bytes, off, t_chunks)) {
+        close();
+        return fail(error, path + ": truncated trailer");
+    }
+    if (off != bytes) {
+        close();
+        return fail(error, path + ": trailing bytes after the trailer");
+    }
+    if (t_records != total || t_chunks != chunks_.size()) {
+        close();
+        return fail(error,
+                    path + ": trailer totals disagree with the chunks "
+                           "(truncated or corrupt)");
+    }
+    total_records_ = total;
+    path_ = path;
+    return true;
+}
+
+std::size_t
+StreamingTrace::readChunk(std::size_t idx, AccessRecord *out,
+                          std::size_t cap) const
+{
+    GLIDER_ASSERT(isOpen() && idx < chunks_.size());
+    const ChunkRef &ref = chunks_[idx];
+    if (cap < ref.records)
+        throw std::runtime_error(path_ + ": decode buffer too small");
+    const std::uint8_t *p = base_ + ref.payload_offset;
+    if (fnv1a(p, ref.payload_bytes) != ref.checksum) {
+        throw std::runtime_error(path_ + ": chunk "
+                                 + std::to_string(idx)
+                                 + " checksum mismatch (corrupt)");
+    }
+    std::uint64_t pos = 0;
+    std::uint64_t prev_pc = 0;
+    std::uint64_t prev_addr = 0;
+    auto varint = [&](std::uint64_t &v) {
+        v = 0;
+        unsigned shift = 0;
+        for (;;) {
+            if (pos >= ref.payload_bytes || shift > 63)
+                return false;
+            std::uint8_t b = p[pos++];
+            v |= static_cast<std::uint64_t>(b & 0x7F) << shift;
+            if ((b & 0x80) == 0)
+                return true;
+            shift += 7;
+        }
+    };
+    for (std::uint32_t i = 0; i < ref.records; ++i) {
+        if (pos >= ref.payload_bytes) {
+            throw std::runtime_error(path_ + ": chunk "
+                                     + std::to_string(idx)
+                                     + " payload underruns its "
+                                       "record count");
+        }
+        std::uint8_t flags = p[pos++];
+        std::uint64_t zpc = 0;
+        std::uint64_t zaddr = 0;
+        if (!varint(zpc) || !varint(zaddr)) {
+            throw std::runtime_error(path_ + ": chunk "
+                                     + std::to_string(idx)
+                                     + " malformed varint");
+        }
+        prev_pc = zigzagDecode(zpc, prev_pc);
+        prev_addr = zigzagDecode(zaddr, prev_addr);
+        out[i] = AccessRecord{prev_pc, prev_addr,
+                              static_cast<std::uint8_t>(flags >> 1),
+                              (flags & 1) != 0};
+    }
+    if (pos != ref.payload_bytes) {
+        throw std::runtime_error(path_ + ": chunk "
+                                 + std::to_string(idx)
+                                 + " has bytes past its last record");
+    }
+    return ref.records;
+}
+
+void
+StreamingTrace::dropChunkPages(std::size_t idx) const
+{
+    GLIDER_ASSERT(isOpen() && idx < chunks_.size());
+    const ChunkRef &ref = chunks_[idx];
+    static const auto page =
+        static_cast<std::uint64_t>(::sysconf(_SC_PAGESIZE));
+    std::uint64_t lo = ref.payload_offset / page * page;
+    std::uint64_t hi = ref.payload_offset + ref.payload_bytes;
+    hi = hi / page * page; // keep the page the next chunk starts on
+    if (hi > lo) {
+        ::madvise(const_cast<std::uint8_t *>(base_ + lo), hi - lo,
+                  MADV_DONTNEED);
+    }
+}
+
+} // namespace traces
+} // namespace glider

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Destination interface for generated access streams.
+ *
+ * Workload kernels emit records through a TraceSink instead of a
+ * concrete Trace, so the same deterministic kernel run can either
+ * materialize in RAM (Trace) or stream straight to a compact on-disk
+ * gtrace file (GtraceSink) with O(1) memory — the substrate of the
+ * billion-access generate-once/stream-many path.
+ */
+
+#ifndef GLIDER_TRACES_SINK_HH
+#define GLIDER_TRACES_SINK_HH
+
+#include <cstdint>
+
+#include "access.hh"
+
+namespace glider {
+namespace traces {
+
+/**
+ * Anything that accepts an ordered stream of access records. Kernels
+ * only ever append and read back the running count (their access
+ * budget), so the interface is exactly those two operations.
+ */
+class TraceSink
+{
+  public:
+    virtual ~TraceSink() = default;
+
+    /** Append one access. */
+    virtual void push(const AccessRecord &rec) = 0;
+
+    /** Records appended so far. */
+    virtual std::uint64_t size() const = 0;
+
+    /** Append an access by fields. */
+    void
+    push(std::uint64_t pc, std::uint64_t address, bool is_write = false,
+         std::uint8_t core = 0)
+    {
+        push(AccessRecord{pc, address, core, is_write});
+    }
+};
+
+} // namespace traces
+} // namespace glider
+
+#endif // GLIDER_TRACES_SINK_HH

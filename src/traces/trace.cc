@@ -69,6 +69,26 @@ Trace::load(const std::string &path, Trace &out)
         && std::memcmp(magic, kMagic, sizeof(kMagic)) == 0;
     std::uint64_t n = 0;
     ok = ok && std::fread(&n, sizeof(n), 1, f) == 1;
+    // Diagnose truncation and trailing garbage up front: the byte
+    // count must be exactly header + n fixed-width records. A partial
+    // final record (torn write, interrupted copy) or extra bytes past
+    // the declared count both mean the file does not round-trip what
+    // save() wrote.
+    constexpr std::uint64_t kHeaderBytes =
+        sizeof(kMagic) + sizeof(std::uint64_t);
+    constexpr std::uint64_t kMaxRecords =
+        (UINT64_MAX - kHeaderBytes) / sizeof(FileRecord);
+    if (ok && n > kMaxRecords)
+        ok = false;
+    if (ok) {
+        long here = std::ftell(f);
+        ok = here >= 0 && std::fseek(f, 0, SEEK_END) == 0;
+        long end = ok ? std::ftell(f) : -1;
+        ok = ok && end >= 0
+            && static_cast<std::uint64_t>(end)
+                == kHeaderBytes + n * sizeof(FileRecord)
+            && std::fseek(f, here, SEEK_SET) == 0;
+    }
     out = Trace(path);
     for (std::uint64_t i = 0; ok && i < n; ++i) {
         FileRecord fr{};

@@ -15,19 +15,25 @@
 #include <vector>
 
 #include "access.hh"
+#include "sink.hh"
 
 namespace glider {
 namespace traces {
 
-/** A named, ordered sequence of memory accesses. */
-class Trace
+/** A named, ordered sequence of memory accesses, held in RAM. */
+class Trace : public TraceSink
 {
   public:
     Trace() = default;
     explicit Trace(std::string name) : name_(std::move(name)) {}
 
     /** Append one access. */
-    void push(const AccessRecord &rec) { records_.push_back(rec); }
+    void push(const AccessRecord &rec) override
+    {
+        records_.push_back(rec);
+    }
+
+    using TraceSink::push;
 
     /** Append an access by fields. */
     void
@@ -40,7 +46,7 @@ class Trace
     const std::string &name() const { return name_; }
     void setName(std::string n) { name_ = std::move(n); }
 
-    std::size_t size() const { return records_.size(); }
+    std::uint64_t size() const override { return records_.size(); }
     bool empty() const { return records_.empty(); }
     const AccessRecord &operator[](std::size_t i) const
     {
@@ -69,7 +75,12 @@ class Trace
      */
     bool save(const std::string &path) const;
 
-    /** Deserialise a trace previously written by save(). */
+    /**
+     * Deserialise a trace previously written by save(). Rejects files
+     * with a bad magic, a truncated header, fewer bytes than the
+     * declared record count requires (including a partial final
+     * record), or trailing bytes past the last record.
+     */
     static bool load(const std::string &path, Trace &out);
 
   private:

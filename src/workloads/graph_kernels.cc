@@ -60,7 +60,7 @@ struct TracedGraph
 
 struct Budget
 {
-    const traces::Trace &trace;
+    const traces::TraceSink &trace;
     std::size_t start;
     std::uint64_t target;
 
@@ -70,7 +70,7 @@ struct Budget
 } // namespace
 
 void
-GraphKernel::run(traces::Trace &trace)
+GraphKernel::run(traces::TraceSink &trace)
 {
     RecordingMemory mem(trace);
     PcBlock pcs(p_.kernel_id);

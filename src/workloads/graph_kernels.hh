@@ -61,7 +61,7 @@ class GraphKernel : public Kernel
 
     explicit GraphKernel(Params p) : p_(std::move(p)) {}
     std::string name() const override { return p_.name; }
-    void run(traces::Trace &trace) override;
+    void run(traces::TraceSink &sink) override;
 
   private:
     Params p_;

@@ -11,7 +11,7 @@
 #include <memory>
 #include <string>
 
-#include "traces/trace.hh"
+#include "traces/sink.hh"
 
 namespace glider {
 namespace workloads {
@@ -30,11 +30,13 @@ class Kernel
     virtual std::string name() const = 0;
 
     /**
-     * Execute the kernel, appending roughly target_accesses records.
-     * Kernels check the budget at iteration boundaries, so the final
-     * trace may slightly exceed the target.
+     * Execute the kernel, appending roughly target_accesses records to
+     * @p sink (an in-memory Trace or a streaming on-disk writer —
+     * identical records either way). Kernels check the budget at
+     * iteration boundaries, so the final trace may slightly exceed the
+     * target.
      */
-    virtual void run(traces::Trace &trace) = 0;
+    virtual void run(traces::TraceSink &sink) = 0;
 };
 
 } // namespace workloads

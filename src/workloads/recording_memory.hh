@@ -18,32 +18,33 @@
 #include <vector>
 
 #include "common/logging.hh"
-#include "traces/trace.hh"
+#include "traces/sink.hh"
 
 namespace glider {
 namespace workloads {
 
 /**
- * Records accesses into a Trace and hands out non-overlapping address
- * regions via a bump allocator, mimicking a process address space.
+ * Records accesses into a TraceSink and hands out non-overlapping
+ * address regions via a bump allocator, mimicking a process address
+ * space.
  */
 class RecordingMemory
 {
   public:
-    explicit RecordingMemory(traces::Trace &trace) : trace_(&trace) {}
+    explicit RecordingMemory(traces::TraceSink &sink) : sink_(&sink) {}
 
     /** Record a load of @p addr by static instruction @p pc. */
     void
     load(std::uint64_t pc, std::uint64_t addr)
     {
-        trace_->push(pc, addr, false);
+        sink_->push(pc, addr, false);
     }
 
     /** Record a store to @p addr by static instruction @p pc. */
     void
     store(std::uint64_t pc, std::uint64_t addr)
     {
-        trace_->push(pc, addr, true);
+        sink_->push(pc, addr, true);
     }
 
     /**
@@ -60,10 +61,10 @@ class RecordingMemory
         return base;
     }
 
-    traces::Trace &trace() { return *trace_; }
+    traces::TraceSink &trace() { return *sink_; }
 
   private:
-    traces::Trace *trace_;
+    traces::TraceSink *sink_;
     std::uint64_t brk_ = 0x100000000ull;
 };
 

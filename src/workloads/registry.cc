@@ -1,6 +1,16 @@
 #include "registry.hh"
 
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <mutex>
+#include <unordered_set>
+
+#include <unistd.h>
+
+#include "common/hash.hh"
 #include "common/logging.hh"
+#include "traces/gtrace.hh"
 #include "traces/trace_cache.hh"
 #include "graph_kernels.hh"
 #include "scheduler_kernel.hh"
@@ -292,6 +302,90 @@ cachedTrace(const std::string &name, std::uint64_t target_accesses)
             makeWorkload(n, accesses)->run(out);
         });
     return cache.get(name, target_accesses);
+}
+
+std::uint64_t
+traceFingerprint(const std::string &name, std::uint64_t target_accesses)
+{
+    // Everything the generated stream is a function of: the kernel's
+    // emission logic (kGeneratorVersion), its identity + parameters
+    // (the name, which fixes the table entry, scale, and seed), and
+    // the access budget.
+    std::uint64_t h = mix64(0x67747263ull ^ kGeneratorVersion);
+    for (unsigned char c : name)
+        h = hashCombine(h, c);
+    return hashCombine(h, target_accesses);
+}
+
+bool
+traceSpillEnabled()
+{
+    const char *v = std::getenv("GLIDER_TRACE_SPILL");
+    return v != nullptr && v[0] != '\0' && v[0] != '0';
+}
+
+std::string
+traceSpillDir()
+{
+    const char *v = std::getenv("GLIDER_TRACE_DIR");
+    return (v != nullptr && v[0] != '\0') ? v : "gtraces";
+}
+
+std::string
+spillPath(const std::string &name, std::uint64_t target_accesses)
+{
+    char fp[17];
+    std::snprintf(fp, sizeof(fp), "%016llx",
+                  static_cast<unsigned long long>(
+                      traceFingerprint(name, target_accesses)));
+    return traceSpillDir() + "/" + name + "."
+        + std::to_string(target_accesses) + "." + fp + ".gtrace";
+}
+
+std::string
+ensureSpilledTrace(const std::string &name,
+                   std::uint64_t target_accesses)
+{
+    std::string path = spillPath(name, target_accesses);
+
+    // In-process once-guard: validate or generate each path only once
+    // per process, no matter how many cells stream it.
+    static std::mutex mu;
+    static std::unordered_set<std::string> ready;
+    std::lock_guard<std::mutex> lock(mu);
+    if (ready.count(path) != 0)
+        return path;
+
+    auto valid = [&] {
+        traces::StreamingTrace t;
+        return t.open(path) && t.name() == name
+            && t.size() >= target_accesses;
+    };
+    if (!valid()) {
+        std::error_code ec;
+        std::filesystem::create_directories(traceSpillDir(), ec);
+        // Stage under a per-process temp name, then rename into place:
+        // a crashed or concurrent generator can never leave a partial
+        // file at the final path, and racing workers produce
+        // byte-identical content (the generator is deterministic), so
+        // last-rename-wins is correct.
+        std::string tmp = path + ".tmp." + std::to_string(::getpid());
+        traces::GtraceWriter writer;
+        if (!writer.open(tmp, name))
+            GLIDER_FATAL("cannot create spill file " + tmp);
+        traces::GtraceSink sink(writer);
+        makeWorkload(name, target_accesses)->run(sink);
+        if (!writer.finish())
+            GLIDER_FATAL("write error spilling " + tmp);
+        std::filesystem::rename(tmp, path, ec);
+        if (ec)
+            GLIDER_FATAL("cannot publish spill file " + path + ": "
+                         + ec.message());
+        if (!valid())
+            GLIDER_FATAL("spilled trace failed validation: " + path);
+    }
+    ready.insert(path);
+    return path;
 }
 
 } // namespace workloads

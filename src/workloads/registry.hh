@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "kernel.hh"
+#include "traces/trace.hh"
 
 namespace glider {
 namespace workloads {
@@ -54,6 +55,49 @@ std::unique_ptr<Kernel> makeWorkload(const std::string &name,
  */
 const traces::Trace &cachedTrace(const std::string &name,
                                  std::uint64_t target_accesses);
+
+/**
+ * Bump when any kernel's emission logic changes: it keys the on-disk
+ * spill fingerprint, so stale .gtrace files regenerate instead of
+ * silently replaying an older generator's stream.
+ */
+constexpr std::uint32_t kGeneratorVersion = 1;
+
+/**
+ * Fingerprint of the deterministic generator output for
+ * (name, target_accesses) at kGeneratorVersion. Identical across
+ * processes, so concurrent sweep workers resolve to the same file.
+ */
+std::uint64_t traceFingerprint(const std::string &name,
+                               std::uint64_t target_accesses);
+
+/** True when $GLIDER_TRACE_SPILL asks benches to stream from disk. */
+bool traceSpillEnabled();
+
+/**
+ * Directory holding spilled .gtrace files: $GLIDER_TRACE_DIR, or
+ * "gtraces" under the current directory when unset.
+ */
+std::string traceSpillDir();
+
+/**
+ * Path the spilled trace for (name, target_accesses) lives at —
+ * <dir>/<name>.<accesses>.<fingerprint-hex>.gtrace.
+ */
+std::string spillPath(const std::string &name,
+                      std::uint64_t target_accesses);
+
+/**
+ * Generate-once/stream-many: return the path of a valid spilled
+ * gtrace for (name, target_accesses), generating it on a miss. The
+ * write is atomic (temp file + rename) and the fingerprint is in the
+ * filename, so concurrent workers either reuse the file or race to
+ * produce byte-identical content. An existing file that fails
+ * validation (truncated copy, stale partial) is regenerated.
+ * Fatal when the directory or file cannot be written.
+ */
+std::string ensureSpilledTrace(const std::string &name,
+                               std::uint64_t target_accesses);
 
 } // namespace workloads
 } // namespace glider

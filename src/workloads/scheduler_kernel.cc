@@ -7,7 +7,7 @@ namespace glider {
 namespace workloads {
 
 void
-SchedulerKernel::run(traces::Trace &trace)
+SchedulerKernel::run(traces::TraceSink &trace)
 {
     RecordingMemory mem(trace);
     PcBlock pcs(p_.kernel_id);
@@ -133,7 +133,7 @@ SchedulerKernel::run(traces::Trace &trace)
 }
 
 bool
-SchedulerKernel::budgetDone(const traces::Trace &trace,
+SchedulerKernel::budgetDone(const traces::TraceSink &trace,
                              std::size_t start) const
 {
     return trace.size() - start >= p_.target_accesses;

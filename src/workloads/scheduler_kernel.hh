@@ -62,7 +62,7 @@ class SchedulerKernel : public Kernel
 
     explicit SchedulerKernel(Params p) : p_(std::move(p)) {}
     std::string name() const override { return p_.name; }
-    void run(traces::Trace &trace) override;
+    void run(traces::TraceSink &sink) override;
 
     /**
      * The anchor PC the paper's Table 4 identifies (the first marker
@@ -87,7 +87,7 @@ class SchedulerKernel : public Kernel
 
   private:
     /** True once the trace has grown by target_accesses. */
-    bool budgetDone(const traces::Trace &trace, std::size_t start) const;
+    bool budgetDone(const traces::TraceSink &trace, std::size_t start) const;
 
     Params p_;
     std::uint64_t anchor_pc_ = 0;

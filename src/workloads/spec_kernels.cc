@@ -13,7 +13,7 @@ namespace {
 
 /** True once @p trace has grown by the kernel's access budget. */
 bool
-budgetDone(const traces::Trace &trace, std::size_t start,
+budgetDone(const traces::TraceSink &trace, std::size_t start,
            std::uint64_t target)
 {
     return trace.size() - start >= target;
@@ -37,7 +37,7 @@ zipfDraw(Rng &rng, std::size_t n, double s)
 }
 
 void
-NetworkSimplexKernel::run(traces::Trace &trace)
+NetworkSimplexKernel::run(traces::TraceSink &trace)
 {
     RecordingMemory mem(trace);
     PcBlock pcs(p_.kernel_id);
@@ -91,7 +91,7 @@ NetworkSimplexKernel::run(traces::Trace &trace)
 }
 
 void
-SparseSolverKernel::run(traces::Trace &trace)
+SparseSolverKernel::run(traces::TraceSink &trace)
 {
     RecordingMemory mem(trace);
     PcBlock pcs(p_.kernel_id);
@@ -135,7 +135,7 @@ SparseSolverKernel::run(traces::Trace &trace)
 }
 
 void
-ScoreTableKernel::run(traces::Trace &trace)
+ScoreTableKernel::run(traces::TraceSink &trace)
 {
     RecordingMemory mem(trace);
     PcBlock pcs(p_.kernel_id);
@@ -173,7 +173,7 @@ ScoreTableKernel::run(traces::Trace &trace)
 }
 
 void
-GridSearchKernel::run(traces::Trace &trace)
+GridSearchKernel::run(traces::TraceSink &trace)
 {
     RecordingMemory mem(trace);
     PcBlock pcs(p_.kernel_id);
@@ -291,7 +291,7 @@ GridSearchKernel::run(traces::Trace &trace)
 }
 
 void
-StencilKernel::run(traces::Trace &trace)
+StencilKernel::run(traces::TraceSink &trace)
 {
     RecordingMemory mem(trace);
     PcBlock pcs(p_.kernel_id);
@@ -325,7 +325,7 @@ StencilKernel::run(traces::Trace &trace)
 }
 
 void
-StreamingKernel::run(traces::Trace &trace)
+StreamingKernel::run(traces::TraceSink &trace)
 {
     RecordingMemory mem(trace);
     PcBlock pcs(p_.kernel_id);
@@ -349,7 +349,7 @@ StreamingKernel::run(traces::Trace &trace)
 }
 
 void
-CompressionKernel::run(traces::Trace &trace)
+CompressionKernel::run(traces::TraceSink &trace)
 {
     RecordingMemory mem(trace);
     PcBlock pcs(p_.kernel_id);
@@ -386,7 +386,7 @@ CompressionKernel::run(traces::Trace &trace)
 }
 
 void
-TreeWalkKernel::run(traces::Trace &trace)
+TreeWalkKernel::run(traces::TraceSink &trace)
 {
     RecordingMemory mem(trace);
     PcBlock pcs(p_.kernel_id);

@@ -60,7 +60,7 @@ class NetworkSimplexKernel : public Kernel
 
     explicit NetworkSimplexKernel(Params p) : p_(std::move(p)) {}
     std::string name() const override { return p_.name; }
-    void run(traces::Trace &trace) override;
+    void run(traces::TraceSink &sink) override;
 
   private:
     Params p_;
@@ -82,7 +82,7 @@ class SparseSolverKernel : public Kernel
 
     explicit SparseSolverKernel(Params p) : p_(std::move(p)) {}
     std::string name() const override { return p_.name; }
-    void run(traces::Trace &trace) override;
+    void run(traces::TraceSink &sink) override;
 
   private:
     Params p_;
@@ -107,7 +107,7 @@ class ScoreTableKernel : public Kernel
 
     explicit ScoreTableKernel(Params p) : p_(std::move(p)) {}
     std::string name() const override { return p_.name; }
-    void run(traces::Trace &trace) override;
+    void run(traces::TraceSink &sink) override;
 
   private:
     Params p_;
@@ -130,7 +130,7 @@ class GridSearchKernel : public Kernel
 
     explicit GridSearchKernel(Params p) : p_(std::move(p)) {}
     std::string name() const override { return p_.name; }
-    void run(traces::Trace &trace) override;
+    void run(traces::TraceSink &sink) override;
 
   private:
     Params p_;
@@ -152,7 +152,7 @@ class StencilKernel : public Kernel
 
     explicit StencilKernel(Params p) : p_(std::move(p)) {}
     std::string name() const override { return p_.name; }
-    void run(traces::Trace &trace) override;
+    void run(traces::TraceSink &sink) override;
 
   private:
     Params p_;
@@ -173,7 +173,7 @@ class StreamingKernel : public Kernel
 
     explicit StreamingKernel(Params p) : p_(std::move(p)) {}
     std::string name() const override { return p_.name; }
-    void run(traces::Trace &trace) override;
+    void run(traces::TraceSink &sink) override;
 
   private:
     Params p_;
@@ -196,7 +196,7 @@ class CompressionKernel : public Kernel
 
     explicit CompressionKernel(Params p) : p_(std::move(p)) {}
     std::string name() const override { return p_.name; }
-    void run(traces::Trace &trace) override;
+    void run(traces::TraceSink &sink) override;
 
   private:
     Params p_;
@@ -221,7 +221,7 @@ class TreeWalkKernel : public Kernel
 
     explicit TreeWalkKernel(Params p) : p_(std::move(p)) {}
     std::string name() const override { return p_.name; }
-    void run(traces::Trace &trace) override;
+    void run(traces::TraceSink &sink) override;
 
   private:
     Params p_;

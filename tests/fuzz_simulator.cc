@@ -13,7 +13,10 @@
  * "ADVICE" differential (the multi-core run with a randomly chosen
  * SimOptions::advice_batch must leave every cache statistic and
  * per-core IPC bit-identical to the unprobed run — the batched
- * advice path is observation-only).
+ * advice path is observation-only), and a "STREAM" differential (the
+ * trace round-tripped through the gtrace codec and replayed via
+ * StreamingSource must decode record-exactly and leave every
+ * simulation result bit-identical to the in-memory replay).
  *
  * On failure the trace prefix is shrunk while the failure reproduces,
  * then a one-line reproducer is printed:
@@ -37,6 +40,7 @@
 #include <string>
 #include <vector>
 
+#include "cachesim/access_source.hh"
 #include "cachesim/simulator.hh"
 #include "common/hash.hh"
 #include "common/rng.hh"
@@ -44,6 +48,7 @@
 #include "opt/belady.hh"
 #include "opt/llc_stream.hh"
 #include "traces/access.hh"
+#include "traces/gtrace.hh"
 #include "verify/checked_hierarchy.hh"
 #include "verify/checked_policy.hh"
 #include "verify/invariants.hh"
@@ -149,7 +154,89 @@ policyLineup()
     std::vector<std::string> names = core::policyNames();
     names.push_back("MIN");
     names.push_back("ADVICE");
+    names.push_back("STREAM");
     return names;
+}
+
+/**
+ * "STREAM" differential: round-trip the scenario trace through the
+ * gtrace codec with a case-derived chunk size, demand record-exact
+ * decode, then replay both the in-memory trace and the streamed file
+ * through the single-core driver and demand bit-identical results.
+ * Any divergence is a codec bug or a chunk-boundary bug in the
+ * AccessSource replay loop.
+ */
+std::optional<std::string>
+runStreamCase(std::uint64_t seed, std::uint64_t case_index,
+              const Scenario &s)
+{
+    if (s.trace.empty())
+        return std::nullopt;
+    Rng rng(hashCombine(mix64(seed) ^ 0x57124Dull, case_index));
+    auto chunk = static_cast<std::uint32_t>(1 + rng.below(64));
+    std::string path = "/tmp/glider_fuzz_stream."
+        + std::to_string(static_cast<unsigned long long>(
+            hashCombine(seed, case_index)))
+        + ".gtrace";
+
+    traces::GtraceWriter writer;
+    if (!writer.open(path, s.trace.name(), chunk))
+        return "STREAM differential: cannot create " + path;
+    for (const auto &rec : s.trace)
+        writer.push(rec);
+    if (!writer.finish())
+        return "STREAM differential: write error on " + path;
+
+    auto fail = [&](std::string msg) {
+        std::remove(path.c_str());
+        return std::optional<std::string>(std::move(msg));
+    };
+    traces::StreamingTrace st;
+    std::string error;
+    if (!st.open(path, &error))
+        return fail("STREAM differential: reopen failed: " + error);
+    verify::require(st.size() == s.trace.size(),
+                    "STREAM differential: record count changed "
+                    "across the codec round-trip");
+
+    // Record-exact decode across every chunk boundary.
+    std::vector<traces::AccessRecord> buf(st.maxChunkRecords());
+    std::uint64_t i = 0;
+    for (std::size_t c = 0; c < st.chunkCount(); ++c) {
+        std::size_t n = st.readChunk(c, buf.data(), buf.size());
+        for (std::size_t k = 0; k < n; ++k) {
+            if (!(buf[k] == s.trace[i])) {
+                return fail("STREAM differential: record "
+                            + std::to_string(i)
+                            + " decoded differently (chunk "
+                            + std::to_string(c) + ")");
+            }
+            ++i;
+        }
+    }
+
+    sim::SimOptions opts;
+    opts.hierarchy = s.hier;
+    opts.warmup_fraction = 0.25;
+    auto mem = sim::runSingleCore(s.trace, core::makePolicy("LRU"),
+                                  opts);
+    sim::StreamingSource source(std::move(st));
+    auto streamed = sim::runSingleCore(source, core::makePolicy("LRU"),
+                                       opts);
+    std::remove(path.c_str());
+    verify::require(streamed.llc.hits == mem.llc.hits
+                        && streamed.llc.misses == mem.llc.misses
+                        && streamed.llc.accesses == mem.llc.accesses
+                        && streamed.llc.evictions == mem.llc.evictions
+                        && streamed.llc.bypasses == mem.llc.bypasses,
+                    "STREAM differential: streamed replay changed LLC "
+                    "statistics");
+    verify::require(streamed.instructions == mem.instructions
+                        && streamed.cycles == mem.cycles
+                        && streamed.ipc == mem.ipc,
+                    "STREAM differential: streamed replay changed "
+                    "core-model results");
+    return std::nullopt;
 }
 
 /**
@@ -228,6 +315,8 @@ runCase(std::uint64_t seed, std::uint64_t case_index,
     try {
         if (policy == "ADVICE") {
             return runAdviceCase(seed, case_index, s);
+        } else if (policy == "STREAM") {
+            return runStreamCase(seed, case_index, s);
         } else if (policy == "MIN") {
             // Differential: the replaying BeladyPolicy must reproduce
             // the batch oracle's hit count on the same LLC stream.

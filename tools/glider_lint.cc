@@ -648,7 +648,12 @@ isHotPathFile(const std::string &rel)
     // SoA ISVM table, predictMany, and the SIMD kernels) is as hot as
     // the simulator proper: every LLC access runs through it. The
     // serving layer's ingest ring carries every advice request, so
-    // its push/pop path is held to the same no-allocation rule.
+    // its push/pop path is held to the same no-allocation rule. The
+    // gtrace codec sits under every streamed access (the writer's
+    // push/flush path and the reader's chunk decode both run per
+    // record at billion-access scale), so it is hot too; the
+    // AccessSource replay loop lives under src/cachesim/ and is
+    // already covered by the directory rule.
     static const std::set<std::string> hot_files = {
         "src/common/simd.hh",
         "src/core/glider_policy.hh",
@@ -656,6 +661,8 @@ isHotPathFile(const std::string &rel)
         "src/core/isvm.hh",
         "src/core/pc_history_register.hh",
         "src/serve/mpsc_queue.hh",
+        "src/traces/gtrace.cc",
+        "src/traces/gtrace.hh",
     };
     return startsWith(rel, "src/cachesim/")
         || startsWith(rel, "src/policies/")
