@@ -28,6 +28,7 @@
 
 #include "cachesim/simulator.hh"
 #include "common/cancellation.hh"
+#include "common/env_registry.hh"
 #include "common/thread_pool.hh"
 #include "core/policy_factory.hh"
 #include "obs/bench_report.hh"
@@ -42,19 +43,11 @@
 namespace glider {
 namespace bench {
 
-/** Integer env knob with default. */
-inline std::uint64_t
-envU64(const char *name, std::uint64_t def)
-{
-    const char *v = std::getenv(name);
-    return v ? std::strtoull(v, nullptr, 10) : def;
-}
-
 /** Per-workload trace length (CPU accesses). GLIDER_ACCESSES. */
 inline std::uint64_t
 traceAccesses()
 {
-    return envU64("GLIDER_ACCESSES", 2'000'000);
+    return env::u64(env::Knob::Accesses);
 }
 
 /**
@@ -64,7 +57,7 @@ traceAccesses()
 inline unsigned
 sweepThreads()
 {
-    std::uint64_t v = envU64("GLIDER_THREADS", 0);
+    std::uint64_t v = env::u64(env::Knob::Threads);
     if (v > 0)
         return static_cast<unsigned>(v);
     return ThreadPool::defaultThreads();
@@ -74,14 +67,14 @@ sweepThreads()
 inline std::size_t
 lstmDim()
 {
-    return static_cast<std::size_t>(envU64("GLIDER_LSTM_DIM", 32));
+    return static_cast<std::size_t>(env::u64(env::Knob::LstmDim));
 }
 
 /** Offline training epochs. GLIDER_EPOCHS. */
 inline int
 lstmEpochs()
 {
-    return static_cast<int>(envU64("GLIDER_EPOCHS", 6));
+    return static_cast<int>(env::u64(env::Knob::Epochs));
 }
 
 /** Print the experiment banner with the Table 1 configuration. */
@@ -318,7 +311,7 @@ class SweepRunner
         /** Resumed rows to recompute and compare against the
          *  checkpoint (determinism check). GLIDER_CKPT_VERIFY. */
         std::size_t verify_resumed = static_cast<std::size_t>(
-            envU64("GLIDER_CKPT_VERIFY", 1));
+            env::u64(env::Knob::CkptVerify));
         /** Fault plan; nullptr reads $GLIDER_FAULT_INJECT. */
         const resilience::FaultPlan *faults = nullptr;
     };
@@ -620,8 +613,8 @@ sweepOptions(const std::string &sweep_name)
 {
     SweepRunner::SweepOptions opts;
     opts.sweep_name = sweep_name;
-    if (const char *path = std::getenv("GLIDER_CKPT"))
-        opts.checkpoint_path = path;
+    if (env::isSet(env::Knob::Ckpt))
+        opts.checkpoint_path = env::str(env::Knob::Ckpt);
     opts.config["accesses"] = obs::json::Value(traceAccesses());
     return opts;
 }

@@ -27,9 +27,9 @@ main()
         "SHiP++ 11.4%");
 
     const auto policies = core::paperLineup();
-    const std::size_t mixes = bench::envU64("GLIDER_MIXES", 20);
+    const std::size_t mixes = env::u64(env::Knob::Mixes);
     const std::uint64_t per_core =
-        bench::envU64("GLIDER_MIX_ACCESSES", 300'000);
+        env::u64(env::Knob::MixAccesses);
 
     sim::SimOptions opts;
     opts.hierarchy = sim::HierarchyConfig::forCores(4);
@@ -37,7 +37,7 @@ main()
     // Batched-advice probe: replay windows of the live access stream
     // through BatchAdviceProvider policies (Glider's predictMany SIMD
     // path) while the mix runs. Observation only; 0 disables.
-    opts.advice_batch = bench::envU64("GLIDER_ADVICE_BATCH", 32);
+    opts.advice_batch = env::u64(env::Knob::AdviceBatch);
 
     auto names = workloads::figure11Workloads();
     Rng rng(2026);

@@ -23,7 +23,7 @@ main()
         "approaches the LSTM; Perceptron saturates at ~4");
 
     const auto subset = std::vector<std::string>{"omnetpp", "sphinx3"};
-    const std::size_t max_seq = bench::envU64("GLIDER_MAX_SEQ", 60);
+    const std::size_t max_seq = env::u64(env::Knob::MaxSeq);
 
     std::vector<offline::OfflineDataset> datasets;
     for (const auto &name : subset) {

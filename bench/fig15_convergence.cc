@@ -19,7 +19,7 @@ main()
         "Hawkeye/Perceptron converge fast but plateau lower");
 
     const int epochs =
-        static_cast<int>(bench::envU64("GLIDER_CONV_EPOCHS", 12));
+        static_cast<int>(env::u64(env::Knob::ConvEpochs));
     const auto subset = std::vector<std::string>{"mcf", "omnetpp",
                                                  "sphinx3"};
 

@@ -23,19 +23,13 @@
 
 #include "cachesim/cache.hh"
 #include "common/alloc_guard.hh"
+#include "common/env_registry.hh"
 #include "core/policy_factory.hh"
 #include "obs/bench_report.hh"
 
 using namespace glider;
 
 namespace {
-
-std::uint64_t
-envU64(const char *name, std::uint64_t def)
-{
-    const char *v = std::getenv(name);
-    return v ? std::strtoull(v, nullptr, 10) : def;
-}
 
 /**
  * Replica of the pre-refactor Cache::access hot path: identical tag
@@ -194,8 +188,8 @@ measure(CacheT &cache, const Stream &s, int reps)
 int
 main()
 {
-    std::uint64_t accesses = envU64("GLIDER_MICRO_ACCESSES", 2'000'000);
-    int reps = static_cast<int>(envU64("GLIDER_MICRO_REPS", 3));
+    std::uint64_t accesses = env::u64(env::Knob::MicroAccesses);
+    int reps = static_cast<int>(env::u64(env::Knob::MicroReps));
 
     std::printf("microbench_simulator: single-thread simulated "
                 "accesses/second, %llu accesses x %d reps (best)\n",

@@ -235,21 +235,19 @@ loadgenMain()
 {
     serve::EngineConfig config = serve::EngineConfig::fromEnv();
     const auto clients =
-        static_cast<std::size_t>(envU64("GLIDER_SERVE_CLIENTS", 4));
+        static_cast<std::size_t>(env::u64(env::Knob::ServeClients));
     const auto requests = static_cast<std::size_t>(
-        envU64("GLIDER_SERVE_REQUESTS", 50'000));
+        env::u64(env::Knob::ServeRequests));
     const auto window =
-        static_cast<std::size_t>(envU64("GLIDER_SERVE_WINDOW", 64));
+        static_cast<std::size_t>(env::u64(env::Knob::ServeWindow));
     const auto tenants =
-        static_cast<std::size_t>(envU64("GLIDER_SERVE_TENANTS", 16));
-    const double zipf_s = static_cast<double>(envU64(
-                              "GLIDER_SERVE_ZIPF_PCT", 90))
-        / 100.0;
+        static_cast<std::size_t>(env::u64(env::Knob::ServeTenants));
+    const double zipf_s =
+        static_cast<double>(env::u64(env::Knob::ServeZipfPct)) / 100.0;
     const double train_fraction =
-        static_cast<double>(envU64("GLIDER_SERVE_TRAIN_PCT", 30))
+        static_cast<double>(env::u64(env::Knob::ServeTrainPct))
         / 100.0;
-    const char *workload_env = std::getenv("GLIDER_SERVE_WORKLOAD");
-    const std::string workload = workload_env ? workload_env : "mcf";
+    const std::string workload = env::str(env::Knob::ServeWorkload);
 
     std::printf("serve_loadgen: %zu clients x %zu ops, window %zu, "
                 "%zu tenants (zipf %.2f), %.0f%% train, %u shards, "

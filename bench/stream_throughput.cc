@@ -82,10 +82,9 @@ int
 main()
 {
     std::uint64_t accesses =
-        bench::envU64("GLIDER_STREAM_ACCESSES", 1'000'000);
-    int reps = static_cast<int>(bench::envU64("GLIDER_STREAM_REPS", 2));
-    const char *wl_env = std::getenv("GLIDER_STREAM_WORKLOAD");
-    std::string workload = wl_env != nullptr ? wl_env : "mcf";
+        env::u64(env::Knob::StreamAccesses);
+    int reps = static_cast<int>(env::u64(env::Knob::StreamReps));
+    std::string workload = env::str(env::Knob::StreamWorkload);
 
     std::printf("stream_throughput: gtrace pipeline, %s x %llu "
                 "accesses, best of %d\n",

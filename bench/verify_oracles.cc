@@ -33,8 +33,7 @@ namespace {
 std::vector<std::string>
 suiteWorkloads()
 {
-    const char *v = std::getenv("GLIDER_VERIFY_WORKLOADS");
-    std::string spec = v ? v : "offline";
+    std::string spec = env::str(env::Knob::VerifyWorkloads);
     if (spec == "offline")
         return workloads::offlineSubset();
     if (spec == "fig10")
@@ -57,8 +56,7 @@ suiteWorkloads()
 double
 minAgreement()
 {
-    const char *v = std::getenv("GLIDER_VERIFY_MIN_AGREEMENT");
-    return v ? std::strtod(v, nullptr) : 0.95;
+    return env::f64(env::Knob::VerifyMinAgreement);
 }
 
 int

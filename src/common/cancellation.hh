@@ -77,6 +77,9 @@ class CancelToken
     }
 
     /** @throws CancelledError when cancelled(). */
+    // glider-lint: allow(hotpath-transitive) cancellation exit:
+    // thrown at most once per run when the deadline/stop fires; the
+    // steady-state path is a relaxed load plus a branch.
     void
     throwIfCancelled() const
     {
@@ -86,6 +89,9 @@ class CancelToken
 
   private:
     const CancelToken *parent_;
+    // glider-mo: flag-relaxed — poll-only latch; no data is
+    // published under it (the cancelled run unwinds via the thrown
+    // CancelledError, not via this flag).
     mutable std::atomic<bool> cancelled_{false};
     bool has_deadline_ = false;
     Clock::time_point deadline_{};

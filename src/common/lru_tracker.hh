@@ -77,6 +77,9 @@ class LruTracker
             result.victim = entries_.front();
             entries_.erase(entries_.begin());
         }
+        // glider-lint: allow(hotpath-transitive) bounded: entries_
+        // is reserved to capacity_ at construction and never exceeds
+        // it, so this push_back never reallocates.
         entries_.push_back(key);
         return result;
     }

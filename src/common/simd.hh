@@ -18,6 +18,11 @@
  *                   (for known deployment targets; no runtime probe).
  *   scalar          compile only the portable reference.
  *
+ * Runtime policy: in auto builds the GLIDER_SIMD environment knob
+ * (see common/env_registry.hh) narrows the probe to one usable
+ * backend — e.g. GLIDER_SIMD=scalar pins the reference kernel for
+ * differential stress runs. Configure-time forces ignore the knob.
+ *
  * Adding a backend: implement dotRowsYourIsa with the exact integer
  * semantics of dotRowsScalar, extend Backend/name/compiled/usable,
  * and add a dispatch arm to dotRowsWith. The differential tests in
@@ -29,6 +34,9 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <cstring>
+
+#include "common/env_registry.hh"
 
 #if defined(GLIDER_SIMD_FORCE_AVX2) \
     && !(defined(__x86_64__) || defined(__i386__))
@@ -255,8 +263,10 @@ dotRowsNeon(const std::int8_t *const *rows, const std::uint8_t *counts,
 
 /**
  * Backend the dispatching entry point uses: the forced backend under
- * GLIDER_SIMD=avx2|neon|scalar, otherwise the best usable one,
- * probed once per process.
+ * a configure-time GLIDER_SIMD=avx2|neon|scalar, otherwise the
+ * runtime GLIDER_SIMD env knob (auto|avx2|neon|scalar, ignored when
+ * the requested backend is not usable), otherwise the best usable
+ * backend. Resolved once per process.
  */
 inline Backend
 activeBackend()
@@ -268,9 +278,22 @@ activeBackend()
 #elif defined(GLIDER_SIMD_FORCE_SCALAR)
     return Backend::Scalar;
 #else
-    static const Backend resolved = usable(Backend::Avx2)
-        ? Backend::Avx2
-        : usable(Backend::Neon) ? Backend::Neon : Backend::Scalar;
+    // glider-lint: allow(hotpath-transitive) env knob read once via
+    // static-init; steady-state calls only read the cached Backend.
+    static const Backend resolved = [] {
+        const char *knob = env::raw(env::Knob::Simd);
+        if (knob != nullptr) {
+            if (std::strcmp(knob, "scalar") == 0)
+                return Backend::Scalar;
+            if (std::strcmp(knob, "avx2") == 0 && usable(Backend::Avx2))
+                return Backend::Avx2;
+            if (std::strcmp(knob, "neon") == 0 && usable(Backend::Neon))
+                return Backend::Neon;
+        }
+        return usable(Backend::Avx2)
+            ? Backend::Avx2
+            : usable(Backend::Neon) ? Backend::Neon : Backend::Scalar;
+    }();
     return resolved;
 #endif
 }

@@ -179,9 +179,9 @@ class ThreadPool
     std::queue<std::function<void()>> queue_;
     std::vector<std::thread> workers_;
     bool stopping_ = false;
-    std::atomic<std::uint64_t> submitted_{0};
-    std::atomic<std::uint64_t> completed_{0};
-    std::atomic<std::size_t> peak_queue_{0};
+    std::atomic<std::uint64_t> submitted_{0}; // glider-mo: counter-relaxed
+    std::atomic<std::uint64_t> completed_{0}; // glider-mo: counter-relaxed
+    std::atomic<std::size_t> peak_queue_{0};  // glider-mo: counter-relaxed
     CancelToken cancel_;
 };
 

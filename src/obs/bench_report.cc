@@ -1,10 +1,10 @@
 #include "bench_report.hh"
 
 #include <cstdio>
-#include <cstdlib>
 #include <filesystem>
 #include <utility>
 
+#include "common/env_registry.hh"
 #include "common/logging.hh"
 
 namespace glider {
@@ -91,15 +91,13 @@ BenchReport::toJson() const
 std::string
 BenchReport::outputDir()
 {
-    const char *dir = std::getenv("GLIDER_BENCH_DIR");
-    return dir && *dir ? dir : ".";
+    return env::str(env::Knob::BenchDir);
 }
 
 std::string
 BenchReport::write() const
 {
-    const char *flag = std::getenv("GLIDER_BENCH_JSON");
-    if (flag && std::string(flag) == "0")
+    if (!env::flag(env::Knob::BenchJson))
         return "";
     std::string dir = outputDir();
     std::error_code ec;

@@ -188,7 +188,7 @@ Histogram::toJson() const
 Counter &
 Registry::counter(const std::string &name)
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    LockGuard lock(mutex_);
     Entry &e = entries_[name];
     if (e.gauge || e.histogram || e.label)
         throw std::invalid_argument("Registry: '" + name
@@ -202,7 +202,7 @@ Registry::counter(const std::string &name)
 Gauge &
 Registry::gauge(const std::string &name)
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    LockGuard lock(mutex_);
     Entry &e = entries_[name];
     if (e.counter || e.histogram || e.label)
         throw std::invalid_argument("Registry: '" + name
@@ -217,7 +217,7 @@ Histogram &
 Registry::histogram(const std::string &name, double lo, double hi,
                     std::size_t buckets)
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    LockGuard lock(mutex_);
     Entry &e = entries_[name];
     if (e.counter || e.gauge || e.label)
         throw std::invalid_argument("Registry: '" + name
@@ -236,7 +236,7 @@ Registry::histogram(const std::string &name, double lo, double hi,
 void
 Registry::label(const std::string &name, std::string value)
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    LockGuard lock(mutex_);
     Entry &e = entries_[name];
     if (e.counter || e.gauge || e.histogram)
         throw std::invalid_argument("Registry: '" + name
@@ -248,14 +248,14 @@ Registry::label(const std::string &name, std::string value)
 bool
 Registry::has(const std::string &name) const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    LockGuard lock(mutex_);
     return entries_.count(name) != 0;
 }
 
 std::vector<std::string>
 Registry::names() const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    LockGuard lock(mutex_);
     std::vector<std::string> out;
     out.reserve(entries_.size());
     for (const auto &[name, entry] : entries_)
@@ -266,7 +266,7 @@ Registry::names() const
 json::Value
 Registry::toJson() const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    LockGuard lock(mutex_);
     json::Value metrics = json::Value::object();
     for (const auto &[name, entry] : entries_) {
         // Walk/create the object spine named by the dotted prefix.

@@ -25,10 +25,10 @@
 #include <limits>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/thread_annotations.hh"
 #include "json.hh"
 
 namespace glider {
@@ -202,8 +202,8 @@ class Registry
         std::unique_ptr<std::string> label;
     };
 
-    mutable std::mutex mutex_;
-    std::map<std::string, Entry> entries_;
+    mutable Mutex mutex_;
+    std::map<std::string, Entry> entries_ GLIDER_GUARDED_BY(mutex_);
 };
 
 /**

@@ -35,7 +35,8 @@ simulateBelady(const traces::Trace &stream, std::uint64_t sets,
     // glider-lint: allow(hotpath-alloc) offline oracle, not the
     // simulator access path
     res.labels.assign(stream.size(), 0);
-    res.hits.assign(stream.size(), 0); // glider-lint: allow(hotpath-alloc)
+    // glider-lint: allow(hotpath-alloc) same setup pass as above.
+    res.hits.assign(stream.size(), 0);
 
     struct Line
     {

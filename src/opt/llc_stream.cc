@@ -13,8 +13,10 @@ extractLlcStream(const traces::Trace &cpu_trace,
                  const sim::HierarchyConfig &config)
 {
     // glider-lint: allow(hotpath-alloc) offline stream extraction
+    // runs once per trace before simulation; not the access path.
     sim::Cache l1(config.l1, std::make_unique<sim::BasicLruPolicy>());
-    sim::Cache l2(config.l2, std::make_unique<sim::BasicLruPolicy>()); // glider-lint: allow(hotpath-alloc)
+    // glider-lint: allow(hotpath-alloc) same setup pass as above.
+    sim::Cache l2(config.l2, std::make_unique<sim::BasicLruPolicy>());
 
     traces::Trace out(cpu_trace.name() + ".llc");
     for (const auto &rec : cpu_trace) {

@@ -5,6 +5,7 @@
 #include <stdexcept>
 #include <thread>
 
+#include "common/env_registry.hh"
 #include "common/hash.hh"
 #include "common/rng.hh"
 
@@ -101,8 +102,8 @@ FaultPlan::parse(const std::string &spec)
 FaultPlan
 FaultPlan::fromEnv()
 {
-    const char *spec = std::getenv("GLIDER_FAULT_INJECT");
-    return spec && *spec ? parse(spec) : FaultPlan();
+    std::string spec = env::str(env::Knob::FaultInject);
+    return !spec.empty() ? parse(spec) : FaultPlan();
 }
 
 void

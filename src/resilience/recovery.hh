@@ -18,13 +18,13 @@
 
 #include <chrono>
 #include <cstdint>
-#include <cstdlib>
 #include <optional>
 #include <string>
 #include <thread>
 #include <utility>
 
 #include "common/cancellation.hh"
+#include "common/env_registry.hh"
 #include "fault_inject.hh"
 
 namespace glider {
@@ -67,13 +67,11 @@ struct RecoveryOptions
     fromEnv()
     {
         RecoveryOptions opts;
-        if (const char *v = std::getenv("GLIDER_CELL_RETRIES"))
-            opts.max_attempts =
-                1 + static_cast<int>(std::strtol(v, nullptr, 10));
+        opts.max_attempts =
+            1 + static_cast<int>(env::u64(env::Knob::CellRetries));
         if (opts.max_attempts < 1)
             opts.max_attempts = 1;
-        if (const char *v = std::getenv("GLIDER_CELL_DEADLINE_MS"))
-            opts.deadline_ms = std::strtoull(v, nullptr, 10);
+        opts.deadline_ms = env::u64(env::Knob::CellDeadlineMs);
         return opts;
     }
 };

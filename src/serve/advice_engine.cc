@@ -7,37 +7,24 @@
 #include "advice_engine.hh"
 
 #include <chrono>
-#include <cstdlib>
 #include <thread>
 
+#include "common/env_registry.hh"
 #include "common/logging.hh"
 
 namespace glider {
 namespace serve {
 
-namespace {
-
-std::uint64_t
-envU64Or(const char *name, std::uint64_t fallback)
-{
-    const char *v = std::getenv(name);
-    if (v == nullptr || *v == '\0')
-        return fallback;
-    return std::strtoull(v, nullptr, 10);
-}
-
-} // namespace
-
 EngineConfig
 EngineConfig::fromEnv()
 {
     EngineConfig config;
-    config.shards = static_cast<unsigned>(
-        envU64Or("GLIDER_SERVE_SHARDS", config.shards));
+    config.shards =
+        static_cast<unsigned>(env::u64(env::Knob::ServeShards));
     if (config.shards == 0)
         config.shards = 1;
-    config.queue_capacity = static_cast<std::size_t>(
-        envU64Or("GLIDER_SERVE_QUEUE_CAP", config.queue_capacity));
+    config.queue_capacity =
+        static_cast<std::size_t>(env::u64(env::Knob::ServeQueueCap));
     if (config.queue_capacity < 2)
         config.queue_capacity = 2;
     return config;
@@ -175,7 +162,7 @@ void
 AdviceEngine::stop()
 {
     stop_.store(true, std::memory_order_seq_cst);
-    std::lock_guard<std::mutex> lock(stop_mutex_);
+    LockGuard lock(stop_mutex_);
     if (joined_)
         return;
     for (auto &w : workers_) {

@@ -30,11 +30,11 @@
 #include <cstdint>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "common/hash.hh"
+#include "common/thread_annotations.hh"
 #include "common/thread_pool.hh"
 #include "obs/json.hh"
 #include "obs/metrics.hh"
@@ -189,10 +189,14 @@ class AdviceEngine
 
         MpscRingQueue<AdviceRequest> queue;
         TenantServer server;
-        std::atomic<std::uint64_t> accepted{0};
-        std::atomic<std::uint64_t> served{0};
-        std::atomic<std::uint64_t> batches{0};
-        std::atomic<std::uint64_t> busy_ns{0};
+        // accepted/served carry the shutdown drain protocol
+        // (stop-flag + served >= accepted must totally order against
+        // submit's accept-then-check); batches/busy_ns are pure
+        // telemetry.
+        std::atomic<std::uint64_t> accepted{0}; // glider-mo: gate-seqcst
+        std::atomic<std::uint64_t> served{0};   // glider-mo: gate-seqcst
+        std::atomic<std::uint64_t> batches{0};  // glider-mo: counter-relaxed
+        std::atomic<std::uint64_t> busy_ns{0};  // glider-mo: counter-relaxed
         // Worker-owned drain/grouping scratch, sized once. Grouping
         // is one pass: requests of one tenant are chained through
         // `next` via the epoch-stamped bucket table (no per-batch
@@ -210,12 +214,12 @@ class AdviceEngine
 
     EngineConfig config_;
     std::vector<std::unique_ptr<Shard>> shards_;
-    std::atomic<bool> stop_{false};
-    std::atomic<std::uint64_t> rejected_{0};
+    std::atomic<bool> stop_{false};          // glider-mo: gate-seqcst
+    std::atomic<std::uint64_t> rejected_{0}; // glider-mo: counter-relaxed
     ThreadPool pool_;
     std::vector<std::future<void>> workers_;
-    std::mutex stop_mutex_;
-    bool joined_ = false;
+    Mutex stop_mutex_;
+    bool joined_ GLIDER_GUARDED_BY(stop_mutex_) = false;
 };
 
 } // namespace serve

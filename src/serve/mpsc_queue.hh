@@ -117,14 +117,19 @@ class MpscRingQueue
   private:
     struct Slot
     {
+        // glider-mo: publish — release-stores hand the slot's
+        // value (or its vacancy) to the acquire-loading other side.
         std::atomic<std::size_t> seq{0};
         T value{};
     };
 
     // Producers contend on head_, the consumer owns tail_; keep them
     // (and the slot array pointer) on separate cache lines.
+    // glider-mo: counter-relaxed — pure claim tickets; slot
+    // handoff synchronizes through each Slot::seq, never through
+    // these cursors.
     alignas(64) std::atomic<std::size_t> head_{0};
-    alignas(64) std::atomic<std::size_t> tail_{0};
+    alignas(64) std::atomic<std::size_t> tail_{0}; // glider-mo: counter-relaxed
     alignas(64) std::size_t mask_ = 0;
     std::unique_ptr<Slot[]> slots_;
 };

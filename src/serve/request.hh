@@ -49,6 +49,8 @@ struct AdviceRequest
     RequestKind kind = RequestKind::Advise;
     bool opt_hit = false;     //!< Train label (ignored for Advise)
     AdviceResponse *response = nullptr;       //!< caller-owned slot
+    // glider-mo: publish — the server's release fetch_add makes
+    // the response slot visible to the client's acquire wait loop.
     std::atomic<std::uint64_t> *done = nullptr; //!< completion counter
 };
 

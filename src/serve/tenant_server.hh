@@ -368,6 +368,8 @@ class TenantServer
     // Deferred done-counter groups (one slot per distinct waiting
     // client seen in the current run; overflow drains early).
     static constexpr std::size_t kDoneSlots = 16;
+    // glider-mo: publish — drainDone's release increments pair
+    // with each client's acquire wait on its counter.
     std::array<std::atomic<std::uint64_t> *, kDoneSlots> done_ptr_{};
     std::array<std::uint64_t, kDoneSlots> done_cnt_{};
     std::size_t ndone_ = 0;

@@ -217,6 +217,9 @@ fail(std::string *error, const std::string &what)
 
 } // namespace
 
+// glider-lint: allow(hotpath-transitive) open() is per-trace setup
+// (mmap + header validation), run once before the decode loop; its
+// error strings never materialize on the per-record path.
 bool
 StreamingTrace::open(const std::string &path, std::string *error)
 {
@@ -347,6 +350,9 @@ StreamingTrace::open(const std::string &path, std::string *error)
     return true;
 }
 
+// glider-lint: allow(hotpath-transitive) corruption exits: the
+// throws below fire only on checksum/decode failure, never on the
+// steady-state decode path, and a torn trace must abort the run.
 std::size_t
 StreamingTrace::readChunk(std::size_t idx, AccessRecord *out,
                           std::size_t cap) const

@@ -17,10 +17,11 @@
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
+#include <mutex> // std::once_flag / std::call_once
 #include <string>
 #include <utility>
 
+#include "common/thread_annotations.hh"
 #include "trace.hh"
 
 namespace glider {
@@ -49,7 +50,7 @@ class TraceCache
     {
         Slot *slot;
         {
-            std::lock_guard<std::mutex> lock(mutex_);
+            LockGuard lock(mutex_);
             auto &entry = slots_[std::make_pair(name, accesses)];
             if (!entry)
                 entry = std::make_unique<Slot>();
@@ -67,7 +68,7 @@ class TraceCache
     std::size_t
     size() const
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        LockGuard lock(mutex_);
         return slots_.size();
     }
 
@@ -79,7 +80,7 @@ class TraceCache
     void
     clear()
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        LockGuard lock(mutex_);
         slots_.clear();
     }
 
@@ -92,10 +93,10 @@ class TraceCache
     };
 
     Builder builder_;
-    mutable std::mutex mutex_;
+    mutable Mutex mutex_;
     std::map<std::pair<std::string, std::uint64_t>,
              std::unique_ptr<Slot>>
-        slots_;
+        slots_ GLIDER_GUARDED_BY(mutex_);
 };
 
 } // namespace traces

@@ -1,13 +1,13 @@
 #include "registry.hh"
 
 #include <cstdio>
-#include <cstdlib>
 #include <filesystem>
 #include <mutex>
 #include <unordered_set>
 
 #include <unistd.h>
 
+#include "common/env_registry.hh"
 #include "common/hash.hh"
 #include "common/logging.hh"
 #include "traces/gtrace.hh"
@@ -320,15 +320,13 @@ traceFingerprint(const std::string &name, std::uint64_t target_accesses)
 bool
 traceSpillEnabled()
 {
-    const char *v = std::getenv("GLIDER_TRACE_SPILL");
-    return v != nullptr && v[0] != '\0' && v[0] != '0';
+    return env::flag(env::Knob::TraceSpill);
 }
 
 std::string
 traceSpillDir()
 {
-    const char *v = std::getenv("GLIDER_TRACE_DIR");
-    return (v != nullptr && v[0] != '\0') ? v : "gtraces";
+    return env::str(env::Knob::TraceDir);
 }
 
 std::string

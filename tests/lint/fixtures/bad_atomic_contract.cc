@@ -1,0 +1,22 @@
+// Fixture: linted as src/serve/bad_atomic_contract.cc. The atomic
+// member below carries no `// glider-mo: <role>` contract comment,
+// so atomic-order must fire exactly once (on the member).
+#include <atomic>
+#include <cstdint>
+
+namespace fixture {
+
+class ContractFree
+{
+  public:
+    std::uint64_t
+    peek() const
+    {
+        return hits_.load(std::memory_order_relaxed);
+    }
+
+  private:
+    std::atomic<std::uint64_t> hits_{0};
+};
+
+} // namespace fixture

@@ -1,0 +1,22 @@
+// Fixture: linted as src/serve/bad_atomic_implicit.cc. The member
+// carries a valid contract but the store below passes no
+// std::memory_order (implicit seq_cst) — atomic-order must fire
+// exactly once on the operation.
+#include <atomic>
+
+namespace fixture {
+
+class ImplicitStop
+{
+  public:
+    void
+    stop()
+    {
+        stop_.store(true);
+    }
+
+  private:
+    std::atomic<bool> stop_{false}; // glider-mo: gate-seqcst
+};
+
+} // namespace fixture

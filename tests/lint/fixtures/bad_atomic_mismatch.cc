@@ -1,0 +1,24 @@
+// Fixture: linted as src/serve/bad_atomic_mismatch.cc. The member is
+// contracted counter-relaxed (never synchronizes-with), but the load
+// below asks for acquire — atomic-order must flag the order/contract
+// mismatch exactly once.
+#include <atomic>
+#include <cstdint>
+
+namespace fixture {
+
+class MismatchedCounter
+{
+  public:
+    std::uint64_t
+    peek() const
+    {
+        return hits_.load(std::memory_order_acquire);
+    }
+
+  private:
+    // glider-mo: counter-relaxed
+    std::atomic<std::uint64_t> hits_{0};
+};
+
+} // namespace fixture

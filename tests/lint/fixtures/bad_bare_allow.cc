@@ -1,0 +1,14 @@
+// Fixture: linted as src/cachesim/bad_bare_allow.cc. The escape
+// hatch below names a rule but gives no reason — allow-reason must
+// fire exactly once (and cannot itself be hatched away).
+#include <cstdint>
+
+namespace fixture {
+
+inline std::uint64_t
+identity(std::uint64_t x)
+{
+    return x; // glider-lint: allow(whitespace)
+}
+
+} // namespace fixture

@@ -1,0 +1,15 @@
+// Fixture: linted as src/serve/bad_env_getenv.cc. Reading a GLIDER_*
+// variable through raw getenv bypasses the env-knob registry —
+// env-registry must fire exactly once (the bypass consumes the
+// literal, so the unregistered name is not double-reported).
+#include <cstdlib>
+
+namespace fixture {
+
+const char *
+sneakyKnob()
+{
+    return std::getenv("GLIDER_BOGUS_KNOB");
+}
+
+} // namespace fixture

@@ -1,0 +1,16 @@
+// Fixture: linted as src/cachesim/bad_hotpath_transitive.cc. The
+// allocation hides behind a call the per-line hotpath-alloc scan
+// cannot see: std::to_string builds a heap-backed string, and only
+// the call graph knows that. Must fire hotpath-transitive exactly
+// once (on the hot root below).
+#include <string>
+
+namespace fixture {
+
+unsigned
+hotLookup(unsigned way)
+{
+    return static_cast<unsigned>(std::to_string(way).size());
+}
+
+} // namespace fixture

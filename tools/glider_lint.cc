@@ -7,9 +7,9 @@
  * turns the implicit repo conventions those layers rely on into
  * compile-time-adjacent checks that run in seconds, with no libclang
  * dependency: a light C++ tokenizer plus a scope tracker good enough
- * for this codebase's style.
+ * for this codebase's style (tools/lint/lint_core.*).
  *
- * Rules (ids as printed and as accepted by allow() directives):
+ * Per-file rules (ids as printed and as accepted by allow()):
  *
  *   hotpath-alloc   No heap allocation or container growth inside hot
  *                   functions of the simulator hot-path directories
@@ -33,6 +33,25 @@
  *                   internals, no using-namespace in headers.
  *   whitespace      No trailing whitespace, no tabs, files end with
  *                   exactly one newline (mechanical; --fix).
+ *   allow-reason    Every allow()/allow-file() escape hatch carries
+ *                   trailing prose saying why the exemption is sound.
+ *   env-registry    getenv("GLIDER_*") only inside the env-knob
+ *                   registry; GLIDER_* string literals must name
+ *                   registered knobs; README's knob table must match
+ *                   the registry exactly (tools/lint/env_rule.*).
+ *
+ * Whole-tree rules (run over every scanned file at once):
+ *
+ *   hotpath-transitive
+ *                   Cross-TU call-graph reachability: every hot-path
+ *                   function must reach only allocation-free,
+ *                   throw-free, lock-free functions
+ *                   (tools/lint/call_graph.*).
+ *   atomic-order    Explicit std::memory_order on every atomic op in
+ *                   src/serve/ + the thread-pool/cancellation
+ *                   headers, and machine-checked `// glider-mo:`
+ *                   contracts on atomic members
+ *                   (tools/lint/atomic_order.*).
  *
  * Escape hatches, checked per finding:
  *   // glider-lint: allow(rule-id[, rule-id...]) <reason>
@@ -42,7 +61,8 @@
  *
  * Usage:
  *   glider_lint [--root DIR] [--rule ID]... [--treat-as RELPATH]
- *               [--fix | --diff] [--list-rules] [PATH...]
+ *               [--readme PATH] [--fix | --diff] [--list-rules]
+ *               [--print-env-table] [PATH...]
  * With no PATH arguments the default tree (src bench tools tests
  * examples under --root) is scanned; build trees and the lint
  * fixture corpus under tests/lint/fixtures are always skipped.
@@ -56,665 +76,42 @@
 #include <algorithm>
 #include <cctype>
 #include <cstdio>
-#include <cstring>
 #include <filesystem>
 #include <fstream>
-#include <map>
 #include <optional>
 #include <set>
 #include <sstream>
 #include <string>
 #include <vector>
 
+#include "lint/atomic_order.hh"
+#include "lint/call_graph.hh"
+#include "lint/env_rule.hh"
+#include "lint/lint_core.hh"
+
 namespace fs = std::filesystem;
 
+namespace glider {
+namespace lint {
 namespace {
 
-// ---------------------------------------------------------------- tokens
-
-struct Token
-{
-    enum class Kind { Ident, Punct, String, CharLit, Number, Pp };
-    Kind kind = Kind::Punct;
-    std::string text; //!< raw text; literals keep escapes unprocessed
-    int line = 0;
-};
-
-/** Per-file lint context: source, tokens, and allow() directives. */
-struct FileCtx
-{
-    std::string rel;     //!< repo-relative path with '/' separators
-    std::string content; //!< raw bytes
-    std::vector<std::string> lines; //!< content split at '\n'
-    std::vector<Token> toks;        //!< comments stripped
-    std::map<int, std::set<std::string>> line_allows;
-    std::set<std::string> file_allows;
-    std::set<int> code_lines; //!< lines carrying at least one token
-};
-
-struct Finding
-{
-    std::string file;
-    int line = 0;
-    std::string rule;
-    std::string msg;
-};
-
-/**
- * Parse every "allow(a, b)" / "allow-file(a)" out of one comment (a
- * block comment may hold several directives). Rule names that are
- * not plain kebab-case idents are ignored, so prose *describing* the
- * directive syntax never registers a hatch.
- */
-void
-parseDirective(const std::string &comment, int line, FileCtx &ctx)
-{
-    std::size_t at = 0;
-    while ((at = comment.find("glider-lint:", at))
-           != std::string::npos) {
-        at += std::strlen("glider-lint:");
-        std::size_t open = comment.find('(', at);
-        if (open == std::string::npos)
-            return;
-        std::size_t kw = comment.find_first_not_of(" \t", at);
-        std::string keyword = comment.substr(kw, open - kw);
-        bool file_wide = keyword == "allow-file";
-        if (!file_wide && keyword != "allow")
-            continue;
-        std::size_t close = comment.find(')', open);
-        if (close == std::string::npos)
-            return;
-        std::string list = comment.substr(open + 1, close - open - 1);
-        std::stringstream ss(list);
-        std::string rule;
-        while (std::getline(ss, rule, ',')) {
-            rule.erase(0, rule.find_first_not_of(" \t"));
-            rule.erase(rule.find_last_not_of(" \t") + 1);
-            bool ident = !rule.empty();
-            for (char c : rule) {
-                if (!std::isalnum(static_cast<unsigned char>(c))
-                    && c != '-')
-                    ident = false;
-            }
-            if (!ident)
-                continue;
-            if (file_wide)
-                ctx.file_allows.insert(rule);
-            else
-                ctx.line_allows[line].insert(rule);
-        }
-        at = close;
-    }
-}
-
-bool
-identChar(char c)
-{
-    return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
-}
-
-/** Tokenize ctx.content into ctx.toks, collecting directives. */
-void
-tokenize(FileCtx &ctx)
-{
-    const std::string &s = ctx.content;
-    std::size_t i = 0;
-    int line = 1;
-    auto advance = [&](std::size_t to) {
-        for (; i < to && i < s.size(); ++i) {
-            if (s[i] == '\n')
-                ++line;
-        }
-    };
-    while (i < s.size()) {
-        char c = s[i];
-        if (c == '\n') {
-            ++line;
-            ++i;
-            continue;
-        }
-        if (std::isspace(static_cast<unsigned char>(c))) {
-            ++i;
-            continue;
-        }
-        // Line comment.
-        if (c == '/' && i + 1 < s.size() && s[i + 1] == '/') {
-            std::size_t end = s.find('\n', i);
-            if (end == std::string::npos)
-                end = s.size();
-            parseDirective(s.substr(i, end - i), line, ctx);
-            i = end;
-            continue;
-        }
-        // Block comment (directives attach to its last line).
-        if (c == '/' && i + 1 < s.size() && s[i + 1] == '*') {
-            std::size_t end = s.find("*/", i + 2);
-            if (end == std::string::npos)
-                end = s.size();
-            else
-                end += 2;
-            std::string body = s.substr(i, end - i);
-            int end_line = line;
-            for (char b : body) {
-                if (b == '\n')
-                    ++end_line;
-            }
-            parseDirective(body, end_line, ctx);
-            advance(end);
-            continue;
-        }
-        // Preprocessor directive: one token per logical line.
-        if (c == '#'
-            && (ctx.toks.empty() || ctx.toks.back().line != line)) {
-            int start_line = line;
-            std::size_t end = i;
-            for (;;) {
-                std::size_t nl = s.find('\n', end);
-                if (nl == std::string::npos) {
-                    end = s.size();
-                    break;
-                }
-                // Continuation line: keep consuming.
-                std::size_t back = nl;
-                while (back > end && (s[back - 1] == '\r'))
-                    --back;
-                if (back > end && s[back - 1] == '\\') {
-                    end = nl + 1;
-                    continue;
-                }
-                end = nl;
-                break;
-            }
-            std::string text = s.substr(i, end - i);
-            // Strip a trailing line comment from the directive text.
-            std::size_t cmt = text.find("//");
-            std::string raw = text;
-            (void)cmt;
-            ctx.toks.push_back({Token::Kind::Pp, raw, start_line});
-            advance(end);
-            continue;
-        }
-        // Raw string literal (minimal: R"delim(...)delim").
-        if (c == 'R' && i + 1 < s.size() && s[i + 1] == '"') {
-            std::size_t open = s.find('(', i + 2);
-            if (open != std::string::npos) {
-                std::string delim = s.substr(i + 2, open - (i + 2));
-                std::string closer = ")" + delim + "\"";
-                std::size_t end = s.find(closer, open + 1);
-                if (end == std::string::npos)
-                    end = s.size();
-                else
-                    end += closer.size();
-                ctx.toks.push_back({Token::Kind::String,
-                                    s.substr(i, end - i), line});
-                advance(end);
-                continue;
-            }
-        }
-        if (c == '"' || c == '\'') {
-            char quote = c;
-            std::size_t j = i + 1;
-            while (j < s.size() && s[j] != quote) {
-                if (s[j] == '\\')
-                    ++j;
-                ++j;
-            }
-            std::size_t end = j < s.size() ? j + 1 : s.size();
-            ctx.toks.push_back({quote == '"' ? Token::Kind::String
-                                             : Token::Kind::CharLit,
-                                s.substr(i + 1, end - i - 2), line});
-            advance(end);
-            continue;
-        }
-        if (identChar(c) && !std::isdigit(static_cast<unsigned char>(c))) {
-            std::size_t j = i;
-            while (j < s.size() && identChar(s[j]))
-                ++j;
-            ctx.toks.push_back({Token::Kind::Ident, s.substr(i, j - i),
-                                line});
-            i = j;
-            continue;
-        }
-        if (std::isdigit(static_cast<unsigned char>(c))) {
-            std::size_t j = i;
-            while (j < s.size()
-                   && (identChar(s[j]) || s[j] == '.' || s[j] == '\''))
-                ++j;
-            ctx.toks.push_back({Token::Kind::Number, s.substr(i, j - i),
-                                line});
-            i = j;
-            continue;
-        }
-        // Multi-char operators the scope tracker needs as units.
-        if (c == ':' && i + 1 < s.size() && s[i + 1] == ':') {
-            ctx.toks.push_back({Token::Kind::Punct, "::", line});
-            i += 2;
-            continue;
-        }
-        if (c == '-' && i + 1 < s.size() && s[i + 1] == '>') {
-            ctx.toks.push_back({Token::Kind::Punct, "->", line});
-            i += 2;
-            continue;
-        }
-        ctx.toks.push_back({Token::Kind::Punct, std::string(1, c),
-                            line});
-        ++i;
-    }
-    for (const Token &t : ctx.toks)
-        ctx.code_lines.insert(t.line);
-}
-
-// ------------------------------------------------------------- reporting
-
-bool
-allowed(const FileCtx &ctx, const std::string &rule, int line)
-{
-    if (ctx.file_allows.count(rule))
-        return true;
-    auto hit = [&](int l) {
-        auto it = ctx.line_allows.find(l);
-        return it != ctx.line_allows.end() && it->second.count(rule);
-    };
-    if (hit(line))
-        return true;
-    // A directive in the comment block directly above the offending
-    // line covers it: walk up through lines that carry no code
-    // tokens (comments, blanks); the first code line breaks the
-    // chain so a hatch never leaks past the statement it annotates.
-    for (int l = line - 1; l >= 1; --l) {
-        if (hit(l))
-            return true;
-        if (ctx.code_lines.count(l))
-            break;
-    }
-    return false;
-}
-
-void
-report(std::vector<Finding> &out, const FileCtx &ctx,
-       const std::string &rule, int line, std::string msg)
-{
-    if (allowed(ctx, rule, line))
-        return;
-    out.push_back({ctx.rel, line, rule, std::move(msg)});
-}
-
-// --------------------------------------------------------- scope tracker
-
-/**
- * Tracks namespace/class/function/block scopes over the token stream,
- * tuned to this repo's style. Good enough to know, at any token, the
- * innermost enclosing function and whether it is a designated
- * cold-path function (setup/teardown/telemetry).
- */
-class ScopeTracker
-{
-  public:
-    struct Scope
-    {
-        enum class Kind { Namespace, Class, Function, Block };
-        Kind kind;
-        std::string name;
-        bool cold = false;
-    };
-
-    explicit ScopeTracker(const std::vector<Token> &toks) : toks_(toks)
-    {
-    }
-
-    /** Feed token @p i; call once per token, in order. */
-    void
-    step(std::size_t i)
-    {
-        const Token &t = toks_[i];
-        if (t.kind == Token::Kind::Pp)
-            return;
-        bool structural = innermostIsTypeScope();
-        if (structural)
-            pendingStep(i);
-        if (t.kind == Token::Kind::Punct && t.text == "{") {
-            openBrace(i, structural);
-            return;
-        }
-        if (t.kind == Token::Kind::Punct && t.text == "}") {
-            if (init_brace_ > 0) {
-                --init_brace_;
-                return;
-            }
-            if (!stack_.empty())
-                stack_.pop_back();
-            return;
-        }
-    }
-
-    /** Innermost enclosing function, or nullptr at type/ns scope. */
-    const Scope *
-    enclosingFunction() const
-    {
-        for (auto it = stack_.rbegin(); it != stack_.rend(); ++it) {
-            if (it->kind == Scope::Kind::Function)
-                return &*it;
-        }
-        return nullptr;
-    }
-
-  private:
-    enum class Pending { None, InParams, AfterParams, CtorInit };
-
-    bool
-    innermostIsTypeScope() const
-    {
-        if (init_brace_ > 0)
-            return false;
-        if (stack_.empty())
-            return true;
-        Scope::Kind k = stack_.back().kind;
-        return k == Scope::Kind::Namespace || k == Scope::Kind::Class;
-    }
-
-    static bool
-    isKeyword(const std::string &s)
-    {
-        static const std::set<std::string> kw = {
-            "if",     "for",   "while",  "switch", "catch",
-            "return", "sizeof", "alignof", "static_assert",
-            "decltype", "noexcept", "alignas"};
-        return kw.count(s) != 0;
-    }
-
-    /** Collect a qualified name ending at token @p i (an Ident). */
-    std::string
-    qualifiedNameEndingAt(std::size_t i) const
-    {
-        std::string name = toks_[i].text;
-        std::size_t j = i;
-        // ~Dtor
-        if (j > 0 && toks_[j - 1].text == "~")
-            name = "~" + name;
-        while (j >= 2 && toks_[j - 1].text == "::"
-               && toks_[j - 2].kind == Token::Kind::Ident) {
-            name = toks_[j - 2].text + "::" + name;
-            j -= 2;
-        }
-        return name;
-    }
-
-    /** Function-definition detection at namespace/class scope. */
-    void
-    pendingStep(std::size_t i)
-    {
-        const Token &t = toks_[i];
-        switch (pending_) {
-          case Pending::None:
-            if (t.text == "(" && i > 0) {
-                const Token &p = toks_[i - 1];
-                if (p.kind == Token::Kind::Ident && !isKeyword(p.text)) {
-                    pending_name_ = qualifiedNameEndingAt(i - 1);
-                    pending_ = Pending::InParams;
-                    paren_depth_ = 1;
-                } else if (p.text == "]") {
-                    // operator[] definition.
-                    if (i >= 3 && toks_[i - 3].text == "operator") {
-                        pending_name_ = "operator[]";
-                        pending_ = Pending::InParams;
-                        paren_depth_ = 1;
-                    }
-                } else if (p.text == "operator") {
-                    // operator()(params): this '(' is part of the
-                    // name; the parameter list is scanned by the
-                    // AfterParams paren-skipping below.
-                    pending_name_ = "operator()";
-                    pending_ = Pending::InParams;
-                    paren_depth_ = 1;
-                }
-            }
-            break;
-          case Pending::InParams:
-            if (t.text == "(")
-                ++paren_depth_;
-            else if (t.text == ")" && --paren_depth_ == 0)
-                pending_ = Pending::AfterParams;
-            break;
-          case Pending::AfterParams:
-            if (t.text == "(") {
-                ++after_parens_;
-            } else if (t.text == ")") {
-                if (after_parens_ > 0)
-                    --after_parens_;
-            } else if (after_parens_ == 0) {
-                if (t.text == ";" || t.text == "=")
-                    pending_ = Pending::None;
-                else if (t.text == ":")
-                    pending_ = Pending::CtorInit;
-                // "{" handled by openBrace(); other tokens (const,
-                // noexcept, override, ->, type names) keep waiting.
-            }
-            break;
-          case Pending::CtorInit:
-            if (t.text == "(")
-                ++init_paren_;
-            else if (t.text == ")" && init_paren_ > 0)
-                --init_paren_;
-            // Braces are resolved in openBrace()/step("}").
-            break;
-        }
-    }
-
-    void
-    openBrace(std::size_t i, bool structural)
-    {
-        if (!structural) {
-            if (init_brace_ > 0)
-                ++init_brace_;
-            else
-                stack_.push_back({Scope::Kind::Block, "", false});
-            return;
-        }
-        if (pending_ == Pending::AfterParams && after_parens_ == 0) {
-            pushFunction();
-            return;
-        }
-        if (pending_ == Pending::CtorInit && init_paren_ == 0) {
-            // `Member{...}` brace-init vs the constructor body: the
-            // body brace follows ')', '}' or the init-list comma
-            // context; a brace directly after an identifier or
-            // template-close is a member initializer.
-            const std::string &p = i > 0 ? toks_[i - 1].text : "";
-            bool member_init = i > 0
-                && (toks_[i - 1].kind == Token::Kind::Ident
-                    || p == ">");
-            if (member_init) {
-                ++init_brace_;
-                return;
-            }
-            pushFunction();
-            return;
-        }
-        // Not a function body: namespace / class / aggregate.
-        classifyTypeBrace(i);
-    }
-
-    void
-    pushFunction()
-    {
-        std::string last = pending_name_;
-        std::string outer;
-        std::size_t pos = last.rfind("::");
-        if (pos != std::string::npos) {
-            outer = last.substr(0, pos);
-            std::size_t p2 = outer.rfind("::");
-            if (p2 != std::string::npos)
-                outer = outer.substr(p2 + 2);
-            last = last.substr(pos + 2);
-        } else if (!stack_.empty()
-                   && stack_.back().kind == Scope::Kind::Class) {
-            outer = stack_.back().name;
-        }
-        static const std::set<std::string> cold_names = {
-            "reset",         "exportMetrics", "clearStats",
-            "clearStatsCounters", "clearCounters"};
-        bool cold = cold_names.count(last) != 0 || last == outer
-            || (!last.empty() && last[0] == '~');
-        stack_.push_back({Scope::Kind::Function, last, cold});
-        pending_ = Pending::None;
-        after_parens_ = 0;
-        init_paren_ = 0;
-    }
-
-    void
-    classifyTypeBrace(std::size_t i)
-    {
-        // Scan back to the previous structural boundary.
-        std::size_t j = i;
-        std::size_t limit = i > 64 ? i - 64 : 0;
-        std::size_t type_kw = SIZE_MAX;
-        bool saw_paren = false;
-        bool saw_namespace = false;
-        while (j > limit) {
-            --j;
-            const std::string &x = toks_[j].text;
-            if (x == ";" || x == "}" || x == "{")
-                break;
-            if (x == "(" || x == ")")
-                saw_paren = true;
-            if (toks_[j].kind == Token::Kind::Ident) {
-                if (x == "namespace") {
-                    saw_namespace = true;
-                    type_kw = j;
-                    break;
-                }
-                if (x == "class" || x == "struct" || x == "union"
-                    || x == "enum") {
-                    type_kw = j;
-                }
-            }
-        }
-        if (saw_namespace) {
-            std::string name;
-            if (type_kw + 1 < i
-                && toks_[type_kw + 1].kind == Token::Kind::Ident)
-                name = toks_[type_kw + 1].text;
-            stack_.push_back({Scope::Kind::Namespace, name, false});
-            return;
-        }
-        if (type_kw != SIZE_MAX && !saw_paren) {
-            std::size_t n = type_kw + 1;
-            while (n < i
-                   && (toks_[n].text == "class"
-                       || toks_[n].text == "struct"
-                       || toks_[n].kind != Token::Kind::Ident))
-                ++n;
-            std::string name =
-                n < i && toks_[n].kind == Token::Kind::Ident
-                    ? toks_[n].text
-                    : "";
-            stack_.push_back({Scope::Kind::Class, name, false});
-            return;
-        }
-        // Aggregate initializer or unrecognized: treat as a block so
-        // brace matching stays balanced.
-        stack_.push_back({Scope::Kind::Block, "", false});
-    }
-
-    const std::vector<Token> &toks_;
-    std::vector<Scope> stack_;
-    Pending pending_ = Pending::None;
-    std::string pending_name_;
-    int paren_depth_ = 0;
-    int after_parens_ = 0;
-    int init_paren_ = 0;
-    int init_brace_ = 0;
-};
-
-// ----------------------------------------------------------------- rules
-
-bool
-startsWith(const std::string &s, const char *prefix)
-{
-    return s.rfind(prefix, 0) == 0;
-}
-
-bool
-endsWith(const std::string &s, const char *suffix)
-{
-    std::size_t n = std::strlen(suffix);
-    return s.size() >= n && s.compare(s.size() - n, n, suffix) == 0;
-}
-
-bool
-isHotPathFile(const std::string &rel)
-{
-    // The vectorized prediction stack (PCHR feature maintenance, the
-    // SoA ISVM table, predictMany, and the SIMD kernels) is as hot as
-    // the simulator proper: every LLC access runs through it. The
-    // serving layer's ingest ring carries every advice request, so
-    // its push/pop path is held to the same no-allocation rule. The
-    // gtrace codec sits under every streamed access (the writer's
-    // push/flush path and the reader's chunk decode both run per
-    // record at billion-access scale), so it is hot too; the
-    // AccessSource replay loop lives under src/cachesim/ and is
-    // already covered by the directory rule.
-    static const std::set<std::string> hot_files = {
-        "src/common/simd.hh",
-        "src/core/glider_policy.hh",
-        "src/core/glider_predictor.hh",
-        "src/core/isvm.hh",
-        "src/core/pc_history_register.hh",
-        "src/serve/mpsc_queue.hh",
-        "src/traces/gtrace.cc",
-        "src/traces/gtrace.hh",
-    };
-    return startsWith(rel, "src/cachesim/")
-        || startsWith(rel, "src/policies/")
-        || startsWith(rel, "src/opt/") || hot_files.count(rel) != 0;
-}
+// ----------------------------------------------------- per-file rules
 
 void
 ruleHotpathAlloc(const FileCtx &ctx, std::vector<Finding> &out)
 {
     if (!isHotPathFile(ctx.rel))
         return;
-    static const std::set<std::string> alloc_fns = {
-        "malloc", "calloc", "realloc", "strdup", "aligned_alloc"};
-    static const std::set<std::string> smart_ptr = {"make_unique",
-                                                    "make_shared"};
-    static const std::set<std::string> growth = {
-        "push_back", "emplace_back", "push_front", "emplace_front",
-        "resize",    "assign",       "insert",     "emplace",
-        "append"};
     ScopeTracker scopes(ctx.toks);
     for (std::size_t i = 0; i < ctx.toks.size(); ++i) {
         scopes.step(i);
-        const Token &t = ctx.toks[i];
-        if (t.kind != Token::Kind::Ident)
-            continue;
         const ScopeTracker::Scope *fn = scopes.enclosingFunction();
         if (!fn || fn->cold)
             continue;
-        auto next_is_call = [&] {
-            return i + 1 < ctx.toks.size()
-                && ctx.toks[i + 1].text == "(";
-        };
-        auto is_member_call = [&] {
-            return i > 0
-                && (ctx.toks[i - 1].text == "."
-                    || ctx.toks[i - 1].text == "->")
-                && next_is_call();
-        };
-        std::string what;
-        if (t.text == "new"
-            && (i == 0 || ctx.toks[i - 1].text != "::")) {
-            what = "operator new";
-        } else if (alloc_fns.count(t.text) && next_is_call()) {
-            what = t.text + "()";
-        } else if (smart_ptr.count(t.text)) {
-            what = "std::" + t.text;
-        } else if (growth.count(t.text) && is_member_call()) {
-            what = "." + t.text + "() container growth";
-        }
+        std::string what = allocationAt(ctx, i);
         if (what.empty())
             continue;
-        report(out, ctx, "hotpath-alloc", t.line,
+        report(out, ctx, "hotpath-alloc", ctx.toks[i].line,
                what + " in hot function '" + fn->name
                    + "' — the simulator access/victim path must not "
                      "allocate (reserve in reset() or annotate)");
@@ -734,7 +131,8 @@ ruleJsonOutsideObs(const FileCtx &ctx, std::vector<Finding> &out)
                        "machine-readable output with obs::json, not "
                        "by hand");
             }
-        } else if (t.kind == Token::Kind::CharLit && t.text == "\\\"") {
+        } else if (t.kind == Token::Kind::CharLit
+                   && t.text == "\\\"") {
             report(out, ctx, "json-outside-obs", t.line,
                    "quote character literal printed directly — use "
                    "obs::json for quoted output");
@@ -858,8 +256,10 @@ ruleHeaderGuard(const FileCtx &ctx, std::vector<Finding> &out)
         || second_word(g.define_text) != want) {
         report(out, ctx, "header-guard", g.ifndef_line,
                "include guard is '" + second_word(g.ifndef_text)
-                   + "', expected '" + want + "' (derived from path)");
-    } else if (g.endif_text.find("// " + want) == std::string::npos) {
+                   + "', expected '" + want
+                   + "' (derived from path)");
+    } else if (g.endif_text.find("// " + want)
+               == std::string::npos) {
         report(out, ctx, "header-guard", g.endif_line,
                "closing #endif should carry the guard comment '// "
                    + want + "'");
@@ -874,7 +274,8 @@ fixHeaderGuard(const FileCtx &ctx)
         return std::nullopt;
     std::string want = expectedGuard(ctx.rel);
     GuardLines g = findGuard(ctx);
-    if (g.ifndef_line == 0 || g.define_line == 0 || g.endif_line == 0)
+    if (g.ifndef_line == 0 || g.define_line == 0
+        || g.endif_line == 0)
         return std::nullopt; // structural surgery is not mechanical
     std::vector<std::string> lines = ctx.lines;
     auto set_line = [&](int ln, const std::string &text) {
@@ -893,16 +294,17 @@ fixHeaderGuard(const FileCtx &ctx)
 void
 ruleIncludeHygiene(const FileCtx &ctx, std::vector<Finding> &out)
 {
-    bool is_header = endsWith(ctx.rel, ".hh") || endsWith(ctx.rel, ".h");
+    bool is_header =
+        endsWith(ctx.rel, ".hh") || endsWith(ctx.rel, ".h");
     for (std::size_t i = 0; i < ctx.toks.size(); ++i) {
         const Token &t = ctx.toks[i];
         if (t.kind == Token::Kind::Pp
             && startsWith(t.text, "#include")) {
             if (t.text.find("\"..") != std::string::npos) {
                 report(out, ctx, "include-hygiene", t.line,
-                       "parent-relative #include — include repo-root-"
-                       "relative paths (target include dirs cover "
-                       "src/)");
+                       "parent-relative #include — include repo-"
+                       "root-relative paths (target include dirs "
+                       "cover src/)");
             }
             if (t.text.find("<bits/") != std::string::npos) {
                 report(out, ctx, "include-hygiene", t.line,
@@ -929,7 +331,8 @@ ruleWhitespace(const FileCtx &ctx, std::vector<Finding> &out)
         if (!l.empty()
             && (l.back() == ' ' || l.back() == '\t'
                 || l.back() == '\r')) {
-            report(out, ctx, "whitespace", line, "trailing whitespace");
+            report(out, ctx, "whitespace", line,
+                   "trailing whitespace");
         }
         if (l.find('\t') != std::string::npos)
             report(out, ctx, "whitespace", line,
@@ -974,12 +377,13 @@ fixWhitespace(const FileCtx &ctx)
     return fixed;
 }
 
-// ---------------------------------------------------------------- driver
+// -------------------------------------------------------------- driver
 
 const std::vector<std::string> kAllRules = {
-    "hotpath-alloc", "json-outside-obs", "bench-report",
-    "unseeded-rng",  "header-guard",     "include-hygiene",
-    "whitespace"};
+    "hotpath-alloc",   "hotpath-transitive", "atomic-order",
+    "env-registry",    "allow-reason",       "json-outside-obs",
+    "bench-report",    "unseeded-rng",       "header-guard",
+    "include-hygiene", "whitespace"};
 
 struct Options
 {
@@ -987,6 +391,7 @@ struct Options
     std::set<std::string> rules; //!< empty = all
     std::vector<std::string> paths;
     std::string treat_as; //!< lint single files under this rel path
+    std::string readme;   //!< override README.md for env-registry
     bool fix = false;
     bool diff = false;
 };
@@ -998,8 +403,8 @@ ruleEnabled(const Options &opt, const std::string &rule)
 }
 
 void
-runRules(const Options &opt, const FileCtx &ctx,
-         std::vector<Finding> &out)
+runPerFileRules(const Options &opt, const FileCtx &ctx,
+                std::vector<Finding> &out)
 {
     if (ruleEnabled(opt, "hotpath-alloc"))
         ruleHotpathAlloc(ctx, out);
@@ -1015,6 +420,10 @@ runRules(const Options &opt, const FileCtx &ctx,
         ruleIncludeHygiene(ctx, out);
     if (ruleEnabled(opt, "whitespace"))
         ruleWhitespace(ctx, out);
+    if (ruleEnabled(opt, "allow-reason"))
+        ruleAllowReason(ctx, out);
+    if (ruleEnabled(opt, "env-registry"))
+        ruleEnvRegistry(ctx, out);
 }
 
 /** Line-based diff between @p before and @p after (minimal hunks). */
@@ -1045,7 +454,8 @@ printDiff(const std::string &rel, const std::string &before,
         bool synced = false;
         for (std::size_t look = 1; look < 50 && !synced; ++look) {
             if (i + look <= a.size() && j + look <= b.size()) {
-                for (std::size_t di = 0; di <= look && !synced; ++di) {
+                for (std::size_t di = 0; di <= look && !synced;
+                     ++di) {
                     std::size_t dj = look - di;
                     if (i + di < a.size() && j + dj < b.size()
                         && a[i + di] == b[j + dj]) {
@@ -1068,11 +478,15 @@ printDiff(const std::string &rel, const std::string &before,
     }
 }
 
-/** Load, tokenize, lint one file; apply/print fixes when asked. */
+/**
+ * Load and tokenize one file (applying/printing mechanical fixes when
+ * asked) and append its context to @p files. Per-file and whole-tree
+ * rules run later, over the collected set.
+ */
 void
-lintFile(const Options &opt, const fs::path &abs,
-         const std::string &rel, std::vector<Finding> &findings,
-         int *fixed_files)
+loadFile(const Options &opt, const fs::path &abs,
+         const std::string &rel, std::vector<FileCtx> &files,
+         std::vector<Finding> &findings, int *fixed_files)
 {
     std::ifstream in(abs, std::ios::binary);
     if (!in) {
@@ -1094,9 +508,9 @@ lintFile(const Options &opt, const fs::path &abs,
         std::string current = ctx.content;
         // Whitespace first so guard fixes land on clean lines.
         for (int pass = 0; pass < 2; ++pass) {
-            FileCtx staged = ctx;
+            FileCtx staged;
+            staged.rel = ctx.rel;
             staged.content = current;
-            staged.lines.clear();
             std::stringstream ss(current);
             std::string line;
             while (std::getline(ss, line))
@@ -1122,24 +536,20 @@ lintFile(const Options &opt, const fs::path &abs,
                 std::ofstream outf(abs, std::ios::binary);
                 outf << current;
                 ++*fixed_files;
-            }
-            if (!opt.diff) {
                 // Re-lint the fixed content below.
-                ctx.content = current;
-                ctx.lines.clear();
+                FileCtx fresh;
+                fresh.rel = rel;
+                fresh.content = current;
                 std::stringstream ss(current);
                 std::string line;
                 while (std::getline(ss, line))
-                    ctx.lines.push_back(line);
-                ctx.toks.clear();
-                ctx.line_allows.clear();
-                ctx.file_allows.clear();
-                ctx.code_lines.clear();
-                tokenize(ctx);
+                    fresh.lines.push_back(line);
+                tokenize(fresh);
+                ctx = std::move(fresh);
             }
         }
     }
-    runRules(opt, ctx, findings);
+    files.push_back(std::move(ctx));
 }
 
 bool
@@ -1156,8 +566,7 @@ skippedDir(const fs::path &p)
     if (startsWith(name, "build"))
         return true;
     // The lint self-test corpus deliberately violates every rule.
-    return p.parent_path().filename() == "lint"
-        && name == "fixtures";
+    return p.parent_path().filename() == "lint" && name == "fixtures";
 }
 
 int
@@ -1166,16 +575,19 @@ usage()
     std::fprintf(
         stderr,
         "usage: glider_lint [--root DIR] [--rule ID]... "
-        "[--treat-as RELPATH] [--fix|--diff] [--list-rules] "
-        "[PATH...]\n");
+        "[--treat-as RELPATH] [--readme PATH] [--fix|--diff] "
+        "[--list-rules] [--print-env-table] [PATH...]\n");
     return 2;
 }
 
 } // namespace
+} // namespace lint
+} // namespace glider
 
 int
 main(int argc, char **argv)
 {
+    using namespace glider::lint;
     Options opt;
     std::vector<std::string> args(argv + 1, argv + argc);
     for (std::size_t i = 0; i < args.size(); ++i) {
@@ -1186,13 +598,16 @@ main(int argc, char **argv)
             std::string r = args[++i];
             if (std::find(kAllRules.begin(), kAllRules.end(), r)
                 == kAllRules.end()) {
-                std::fprintf(stderr, "glider_lint: unknown rule '%s'\n",
+                std::fprintf(stderr,
+                             "glider_lint: unknown rule '%s'\n",
                              r.c_str());
                 return 2;
             }
             opt.rules.insert(r);
         } else if (a == "--treat-as" && i + 1 < args.size()) {
             opt.treat_as = args[++i];
+        } else if (a == "--readme" && i + 1 < args.size()) {
+            opt.readme = args[++i];
         } else if (a == "--fix") {
             opt.fix = true;
         } else if (a == "--diff") {
@@ -1200,6 +615,9 @@ main(int argc, char **argv)
         } else if (a == "--list-rules") {
             for (const auto &r : kAllRules)
                 std::printf("%s\n", r.c_str());
+            return 0;
+        } else if (a == "--print-env-table") {
+            std::printf("%s", envKnobTable().c_str());
             return 0;
         } else if (a == "--help" || a == "-h") {
             usage();
@@ -1216,21 +634,24 @@ main(int argc, char **argv)
         return 2;
     }
 
-    if (opt.paths.empty())
+    bool default_tree = opt.paths.empty();
+    if (default_tree)
         opt.paths = {"src", "bench", "tools", "tests", "examples"};
 
+    // Phase 1: load every file in scope.
+    std::vector<FileCtx> files;
     std::vector<Finding> findings;
     int fixed_files = 0;
-    std::size_t files_seen = 0;
     for (const std::string &p : opt.paths) {
-        fs::path abs = fs::path(p).is_absolute() ? fs::path(p)
-                                                 : opt.root / p;
+        fs::path abs =
+            fs::path(p).is_absolute() ? fs::path(p) : opt.root / p;
         std::error_code ec;
         if (fs::is_directory(abs, ec)) {
             std::vector<fs::path> batch;
             fs::recursive_directory_iterator it(
                 abs, fs::directory_options::skip_permission_denied,
-                ec), end;
+                ec),
+                end;
             for (; it != end; it.increment(ec)) {
                 if (it->is_directory(ec) && skippedDir(it->path())) {
                     it.disable_recursion_pending();
@@ -1244,19 +665,54 @@ main(int argc, char **argv)
             for (const fs::path &f : batch) {
                 std::string rel =
                     fs::relative(f, opt.root, ec).generic_string();
-                ++files_seen;
-                lintFile(opt, f, rel, findings, &fixed_files);
+                loadFile(opt, f, rel, files, findings, &fixed_files);
             }
         } else if (fs::is_regular_file(abs, ec)) {
             std::string rel = !opt.treat_as.empty()
                 ? opt.treat_as
                 : fs::relative(abs, opt.root, ec).generic_string();
-            ++files_seen;
-            lintFile(opt, abs, rel, findings, &fixed_files);
+            loadFile(opt, abs, rel, files, findings, &fixed_files);
         } else {
             std::fprintf(stderr, "glider_lint: no such path: %s\n",
                          abs.string().c_str());
             return 2;
+        }
+    }
+
+    // Phase 2: per-file rules, then whole-tree rules over the
+    // collected set. With --treat-as the set is exactly the files
+    // named on the command line, so fixture runs stay hermetic.
+    for (const FileCtx &ctx : files)
+        runPerFileRules(opt, ctx, findings);
+    if (ruleEnabled(opt, "hotpath-transitive"))
+        ruleHotpathTransitive(files, findings);
+    if (ruleEnabled(opt, "atomic-order"))
+        ruleAtomicOrder(files, findings);
+    if (ruleEnabled(opt, "env-registry")) {
+        fs::path readme = !opt.readme.empty()
+            ? (fs::path(opt.readme).is_absolute()
+                   ? fs::path(opt.readme)
+                   : opt.root / opt.readme)
+            : opt.root / "README.md";
+        // Single-file --treat-as runs only check the README when one
+        // was named explicitly: fixture invocations stay hermetic.
+        bool check_readme = !opt.readme.empty()
+            || (default_tree && fs::exists(readme));
+        if (check_readme) {
+            std::ifstream in(readme, std::ios::binary);
+            if (!in) {
+                findings.push_back({readme.generic_string(), 0, "io",
+                                    "cannot read README"});
+            } else {
+                std::stringstream buf;
+                buf << in.rdbuf();
+                std::error_code ec;
+                std::string rel = fs::relative(readme, opt.root, ec)
+                                      .generic_string();
+                ruleEnvRegistryReadme(
+                    rel.empty() ? readme.generic_string() : rel,
+                    buf.str(), findings);
+            }
         }
     }
 
@@ -1279,7 +735,7 @@ main(int argc, char **argv)
         std::fprintf(stderr,
                      "glider_lint: %zu finding(s) in %zu file(s) "
                      "scanned\n",
-                     findings.size(), files_seen);
+                     findings.size(), files.size());
         return 1;
     }
     return 0;

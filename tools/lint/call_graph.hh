@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Cross-TU call-graph analysis for the hotpath-transitive rule: a
+ * function index over every scanned file, name-based call
+ * resolution (conservative on overloads), and transitive
+ * reachability of allocation/throw/lock effects from the hot-path
+ * roots. The model and its conservatism rules are documented in
+ * DESIGN.md ("Static analysis").
+ */
+
+#ifndef GLIDER_TOOLS_LINT_CALL_GRAPH_HH
+#define GLIDER_TOOLS_LINT_CALL_GRAPH_HH
+
+#include <vector>
+
+#include "lint/lint_core.hh"
+
+namespace glider {
+namespace lint {
+
+/**
+ * hotpath-transitive: every non-cold function defined in a hot-path
+ * file must reach only allocation-free, throw-free, and lock-free
+ * functions through the call graph built over @p files. Reports at
+ * most one finding per hot root, naming the offending call chain.
+ */
+void ruleHotpathTransitive(const std::vector<FileCtx> &files,
+                           std::vector<Finding> &out);
+
+} // namespace lint
+} // namespace glider
+
+#endif // GLIDER_TOOLS_LINT_CALL_GRAPH_HH

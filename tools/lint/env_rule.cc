@@ -1,0 +1,211 @@
+/**
+ * @file
+ * env-registry rule implementation. Links against glider_common so
+ * the checked-in registry table itself is the oracle — the lint can
+ * never drift from the code it polices.
+ *
+ * glider-lint: allow-file(json-outside-obs) finding messages quote
+ * the offending literal, which takes escaped quotes.
+ */
+
+#include "lint/env_rule.hh"
+
+#include <algorithm>
+#include <cctype>
+#include <cstddef>
+#include <set>
+
+#include "common/env_registry.hh"
+
+namespace glider {
+namespace lint {
+
+namespace {
+
+/** True for a complete GLIDER_* knob name (typo-guard shape). */
+bool
+looksLikeKnobName(const std::string &s)
+{
+    if (!startsWith(s, "GLIDER_") || s.size() <= 7)
+        return false;
+    for (char c : s)
+        if (!std::isupper(static_cast<unsigned char>(c)) && c != '_'
+            && !std::isdigit(static_cast<unsigned char>(c)))
+            return false;
+    return true;
+}
+
+std::set<std::string>
+registeredNames()
+{
+    std::set<std::string> names;
+    std::size_t count = 0;
+    const env::KnobInfo *knobs = env::allKnobs(&count);
+    for (std::size_t i = 0; i < count; ++i)
+        names.insert(knobs[i].name);
+    return names;
+}
+
+std::string
+joinSet(const std::set<std::string> &names)
+{
+    std::string out;
+    for (const std::string &n : names) {
+        if (!out.empty())
+            out += ", ";
+        out += n;
+    }
+    return out;
+}
+
+} // namespace
+
+void
+ruleEnvRegistry(const FileCtx &ctx, std::vector<Finding> &out)
+{
+    // The registry implementation holds the tree's one getenv and
+    // necessarily spells every knob name.
+    if (ctx.rel == "src/common/env_registry.cc")
+        return;
+    std::set<std::size_t> consumed;
+    for (std::size_t i = 0; i + 1 < ctx.toks.size(); ++i) {
+        const Token &t = ctx.toks[i];
+        if (t.kind != Token::Kind::Ident
+            || (t.text != "getenv" && t.text != "secure_getenv")
+            || ctx.toks[i + 1].text != "(")
+            continue;
+        // First string argument inside the call's parens.
+        int depth = 0;
+        for (std::size_t j = i + 1; j < ctx.toks.size(); ++j) {
+            if (ctx.toks[j].text == "(")
+                ++depth;
+            else if (ctx.toks[j].text == ")" && --depth == 0)
+                break;
+            if (ctx.toks[j].kind != Token::Kind::String)
+                continue;
+            if (startsWith(ctx.toks[j].text, "GLIDER_")) {
+                report(out, ctx, "env-registry", t.line,
+                       "getenv(\"" + ctx.toks[j].text
+                           + "\") bypasses the env-knob registry; "
+                             "read it via env::str/u64/f64/flag("
+                             "env::Knob::...) from "
+                             "common/env_registry.hh");
+                // The bypass is the finding; don't double-report
+                // the same literal as an unregistered name.
+                consumed.insert(j);
+            }
+            break;
+        }
+    }
+    for (std::size_t i = 0; i < ctx.toks.size(); ++i) {
+        const Token &t = ctx.toks[i];
+        if (t.kind != Token::Kind::String || consumed.count(i)
+            || !looksLikeKnobName(t.text))
+            continue;
+        if (env::findByName(t.text) == nullptr)
+            report(out, ctx, "env-registry", t.line,
+                   "\"" + t.text
+                       + "\" is not a registered GLIDER_ knob; add "
+                         "it to src/common/env_registry.cc or fix "
+                         "the name");
+    }
+}
+
+void
+ruleEnvRegistryReadme(const std::string &readme_rel,
+                      const std::string &content,
+                      std::vector<Finding> &out)
+{
+    static const char *kBegin = "<!-- glider-env-knobs:begin -->";
+    static const char *kEnd = "<!-- glider-env-knobs:end -->";
+    Finding f;
+    f.file = readme_rel;
+    f.rule = "env-registry";
+    std::size_t begin = content.find(kBegin);
+    std::size_t end = content.find(kEnd);
+    if (begin == std::string::npos || end == std::string::npos
+        || end < begin) {
+        f.line = 1;
+        f.msg = std::string("README is missing the ") + kBegin + " / "
+            + kEnd
+            + " markers around the env-knob table (regenerate with "
+              "glider_lint --print-env-table)";
+        out.push_back(f);
+        return;
+    }
+    f.line = 1 + static_cast<int>(std::count(
+                content.begin(), content.begin() + begin, '\n'));
+
+    // Collect first-cell names of table rows between the markers.
+    std::set<std::string> listed;
+    std::size_t pos = begin;
+    while (pos < end) {
+        std::size_t nl = content.find('\n', pos);
+        if (nl == std::string::npos || nl > end)
+            nl = end;
+        std::string line = content.substr(pos, nl - pos);
+        pos = nl + 1;
+        std::size_t bar = line.find('|');
+        if (bar == std::string::npos)
+            continue;
+        std::size_t close = line.find('|', bar + 1);
+        if (close == std::string::npos)
+            continue;
+        std::string cell = line.substr(bar + 1, close - bar - 1);
+        std::string name;
+        for (char c : cell)
+            if (!std::isspace(static_cast<unsigned char>(c))
+                && c != '`')
+                name += c;
+        if (looksLikeKnobName(name))
+            listed.insert(name);
+    }
+
+    std::set<std::string> registered = registeredNames();
+    std::set<std::string> missing, unknown;
+    for (const std::string &n : registered)
+        if (listed.count(n) == 0)
+            missing.insert(n);
+    for (const std::string &n : listed)
+        if (registered.count(n) == 0)
+            unknown.insert(n);
+    if (missing.empty() && unknown.empty())
+        return;
+    f.msg = "README env-knob table drifted from "
+            "src/common/env_registry.cc";
+    if (!missing.empty())
+        f.msg += "; missing: " + joinSet(missing);
+    if (!unknown.empty())
+        f.msg += "; not registered: " + joinSet(unknown);
+    f.msg += " (regenerate with glider_lint --print-env-table)";
+    out.push_back(f);
+}
+
+std::string
+envKnobTable()
+{
+    std::string t = "| Knob | Type | Default | Description |\n"
+                    "| --- | --- | --- | --- |\n";
+    std::size_t count = 0;
+    const env::KnobInfo *knobs = env::allKnobs(&count);
+    for (std::size_t i = 0; i < count; ++i) {
+        const env::KnobInfo &k = knobs[i];
+        std::string def = "(unset)";
+        if (k.def != nullptr && k.def[0] != '\0') {
+            def = "`";
+            def += k.def;
+            def += "`";
+        }
+        t += "| `";
+        t += k.name;
+        t += "` | ";
+        t += k.type;
+        t += " | " + def + " | ";
+        t += k.doc;
+        t += " |\n";
+    }
+    return t;
+}
+
+} // namespace lint
+} // namespace glider

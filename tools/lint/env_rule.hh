@@ -1,0 +1,40 @@
+/**
+ * @file
+ * env-registry rule: src/common/env_registry.{hh,cc} is the single
+ * source of truth for GLIDER_* environment knobs. The lint rejects
+ * `getenv("GLIDER_…")` anywhere else, rejects string literals that
+ * name unregistered GLIDER_* knobs (typo guard), and cross-checks
+ * that README.md's knob table lists exactly the registered names.
+ */
+
+#ifndef GLIDER_TOOLS_LINT_ENV_RULE_HH
+#define GLIDER_TOOLS_LINT_ENV_RULE_HH
+
+#include <string>
+#include <vector>
+
+#include "lint/lint_core.hh"
+
+namespace glider {
+namespace lint {
+
+/** Per-file pass: getenv bypasses and unregistered knob literals. */
+void ruleEnvRegistry(const FileCtx &ctx, std::vector<Finding> &out);
+
+/**
+ * README cross-check: the table between the
+ * `<!-- glider-env-knobs:begin -->` / `:end` markers must list
+ * exactly the registered knob names. Emits at most one summary
+ * finding (drift lists every missing/unknown name in one message).
+ */
+void ruleEnvRegistryReadme(const std::string &readme_rel,
+                           const std::string &content,
+                           std::vector<Finding> &out);
+
+/** The generated markdown knob table (for --print-env-table). */
+std::string envKnobTable();
+
+} // namespace lint
+} // namespace glider
+
+#endif // GLIDER_TOOLS_LINT_ENV_RULE_HH

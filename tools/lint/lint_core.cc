@@ -1,0 +1,739 @@
+/**
+ * @file
+ * Implementation of the lint core: tokenizer, directive parsing
+ * (allow hatches, glider-mo contracts), finding plumbing, and the
+ * scope tracker.
+ *
+ * glider-lint: allow-file(json-outside-obs) the tokenizer and the
+ * directive tests spell out escaped-quote literals.
+ */
+
+#include "lint/lint_core.hh"
+
+#include <cctype>
+#include <cstdint>
+#include <cstring>
+#include <sstream>
+
+namespace glider {
+namespace lint {
+
+namespace {
+
+/** True when @p s contains any alphanumeric character. */
+bool
+hasWords(const std::string &s)
+{
+    for (char c : s)
+        if (std::isalnum(static_cast<unsigned char>(c)))
+            return true;
+    return false;
+}
+
+/**
+ * Parse every "allow(a, b)" / "allow-file(a)" out of one comment (a
+ * block comment may hold several directives). Rule names that are
+ * not plain kebab-case idents are ignored, so prose *describing* the
+ * directive syntax never registers a hatch. Directives in a block
+ * comment attach to its last line. A directive with no reason text
+ * after the closing paren is recorded in bare_allows for the
+ * allow-reason rule.
+ */
+void
+parseDirective(const std::string &comment, int first_line,
+               int last_line, FileCtx &ctx)
+{
+    std::size_t at = 0;
+    while ((at = comment.find("glider-lint:", at))
+           != std::string::npos) {
+        at += std::strlen("glider-lint:");
+        std::size_t open = comment.find('(', at);
+        if (open == std::string::npos)
+            return;
+        std::size_t kw = comment.find_first_not_of(" \t", at);
+        std::string keyword = comment.substr(kw, open - kw);
+        bool file_wide = keyword == "allow-file";
+        if (!file_wide && keyword != "allow")
+            continue;
+        std::size_t close = comment.find(')', open);
+        if (close == std::string::npos)
+            return;
+        std::string list = comment.substr(open + 1, close - open - 1);
+        std::vector<std::string> names;
+        std::stringstream ss(list);
+        std::string rule;
+        while (std::getline(ss, rule, ',')) {
+            rule.erase(0, rule.find_first_not_of(" \t"));
+            rule.erase(rule.find_last_not_of(" \t") + 1);
+            bool ident = !rule.empty();
+            for (char c : rule) {
+                if (!std::isalnum(static_cast<unsigned char>(c))
+                    && c != '-')
+                    ident = false;
+            }
+            if (!ident)
+                continue;
+            names.push_back(rule);
+            if (file_wide)
+                ctx.file_allows.insert(rule);
+            else
+                ctx.line_allows[last_line].insert(rule);
+        }
+        // Reason text: everything after ')' up to the next directive
+        // (or the end of the comment), ignoring comment furniture.
+        std::size_t stop = comment.find("glider-lint:", close);
+        std::string reason = comment.substr(
+            close + 1,
+            (stop == std::string::npos ? comment.size() : stop)
+                - (close + 1));
+        std::size_t term = reason.find("*/");
+        if (term != std::string::npos)
+            reason = reason.substr(0, term);
+        if (!names.empty() && !hasWords(reason))
+            ctx.bare_allows[last_line] = names;
+        at = close;
+    }
+    // glider-mo contract comments attach to the line they appear on.
+    at = 0;
+    while ((at = comment.find("glider-mo:", at)) != std::string::npos) {
+        int line = first_line;
+        for (std::size_t k = 0; k < at; ++k)
+            if (comment[k] == '\n')
+                ++line;
+        std::size_t start = at + std::strlen("glider-mo:");
+        start = comment.find_first_not_of(" \t", start);
+        if (start == std::string::npos)
+            return;
+        std::size_t end = start;
+        while (end < comment.size()
+               && !std::isspace(
+                   static_cast<unsigned char>(comment[end])))
+            ++end;
+        ctx.mo_contracts[line] = comment.substr(start, end - start);
+        at = end;
+    }
+}
+
+bool
+identChar(char c)
+{
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+} // namespace
+
+bool
+startsWith(const std::string &s, const char *prefix)
+{
+    return s.rfind(prefix, 0) == 0;
+}
+
+bool
+endsWith(const std::string &s, const char *suffix)
+{
+    std::size_t n = std::strlen(suffix);
+    return s.size() >= n && s.compare(s.size() - n, n, suffix) == 0;
+}
+
+bool
+looksLikeMacroName(const std::string &name)
+{
+    bool has_alpha = false;
+    for (char c : name) {
+        if (std::isupper(static_cast<unsigned char>(c)))
+            has_alpha = true;
+        else if (c != '_'
+                 && !std::isdigit(static_cast<unsigned char>(c)))
+            return false;
+    }
+    return has_alpha;
+}
+
+void
+tokenize(FileCtx &ctx)
+{
+    const std::string &s = ctx.content;
+    std::size_t i = 0;
+    int line = 1;
+    auto advance = [&](std::size_t to) {
+        for (; i < to && i < s.size(); ++i) {
+            if (s[i] == '\n')
+                ++line;
+        }
+    };
+    while (i < s.size()) {
+        char c = s[i];
+        if (c == '\n') {
+            ++line;
+            ++i;
+            continue;
+        }
+        if (std::isspace(static_cast<unsigned char>(c))) {
+            ++i;
+            continue;
+        }
+        // Line comment.
+        if (c == '/' && i + 1 < s.size() && s[i + 1] == '/') {
+            std::size_t end = s.find('\n', i);
+            if (end == std::string::npos)
+                end = s.size();
+            parseDirective(s.substr(i, end - i), line, line, ctx);
+            i = end;
+            continue;
+        }
+        // Block comment (directives attach to its last line).
+        if (c == '/' && i + 1 < s.size() && s[i + 1] == '*') {
+            std::size_t end = s.find("*/", i + 2);
+            if (end == std::string::npos)
+                end = s.size();
+            else
+                end += 2;
+            std::string body = s.substr(i, end - i);
+            int end_line = line;
+            for (char b : body) {
+                if (b == '\n')
+                    ++end_line;
+            }
+            parseDirective(body, line, end_line, ctx);
+            advance(end);
+            continue;
+        }
+        // Preprocessor directive: one token per logical line.
+        if (c == '#'
+            && (ctx.toks.empty() || ctx.toks.back().line != line)) {
+            int start_line = line;
+            std::size_t end = i;
+            for (;;) {
+                std::size_t nl = s.find('\n', end);
+                if (nl == std::string::npos) {
+                    end = s.size();
+                    break;
+                }
+                // Continuation line: keep consuming.
+                std::size_t back = nl;
+                while (back > end && (s[back - 1] == '\r'))
+                    --back;
+                if (back > end && s[back - 1] == '\\') {
+                    end = nl + 1;
+                    continue;
+                }
+                end = nl;
+                break;
+            }
+            ctx.toks.push_back(
+                {Token::Kind::Pp, s.substr(i, end - i), start_line});
+            advance(end);
+            continue;
+        }
+        // Raw string literal (minimal: R"delim(...)delim").
+        if (c == 'R' && i + 1 < s.size() && s[i + 1] == '"') {
+            std::size_t open = s.find('(', i + 2);
+            if (open != std::string::npos) {
+                std::string delim = s.substr(i + 2, open - (i + 2));
+                std::string closer = ")" + delim + "\"";
+                std::size_t end = s.find(closer, open + 1);
+                if (end == std::string::npos)
+                    end = s.size();
+                else
+                    end += closer.size();
+                ctx.toks.push_back({Token::Kind::String,
+                                    s.substr(i, end - i), line});
+                advance(end);
+                continue;
+            }
+        }
+        if (c == '"' || c == '\'') {
+            char quote = c;
+            std::size_t j = i + 1;
+            while (j < s.size() && s[j] != quote) {
+                if (s[j] == '\\')
+                    ++j;
+                ++j;
+            }
+            std::size_t end = j < s.size() ? j + 1 : s.size();
+            ctx.toks.push_back({quote == '"' ? Token::Kind::String
+                                             : Token::Kind::CharLit,
+                                s.substr(i + 1, end - i - 2), line});
+            advance(end);
+            continue;
+        }
+        if (identChar(c)
+            && !std::isdigit(static_cast<unsigned char>(c))) {
+            std::size_t j = i;
+            while (j < s.size() && identChar(s[j]))
+                ++j;
+            ctx.toks.push_back(
+                {Token::Kind::Ident, s.substr(i, j - i), line});
+            i = j;
+            continue;
+        }
+        if (std::isdigit(static_cast<unsigned char>(c))) {
+            std::size_t j = i;
+            while (j < s.size()
+                   && (identChar(s[j]) || s[j] == '.' || s[j] == '\''))
+                ++j;
+            ctx.toks.push_back(
+                {Token::Kind::Number, s.substr(i, j - i), line});
+            i = j;
+            continue;
+        }
+        // Multi-char operators the scope tracker needs as units.
+        if (c == ':' && i + 1 < s.size() && s[i + 1] == ':') {
+            ctx.toks.push_back({Token::Kind::Punct, "::", line});
+            i += 2;
+            continue;
+        }
+        if (c == '-' && i + 1 < s.size() && s[i + 1] == '>') {
+            ctx.toks.push_back({Token::Kind::Punct, "->", line});
+            i += 2;
+            continue;
+        }
+        ctx.toks.push_back(
+            {Token::Kind::Punct, std::string(1, c), line});
+        ++i;
+    }
+    for (const Token &t : ctx.toks)
+        ctx.code_lines.insert(t.line);
+}
+
+bool
+allowed(const FileCtx &ctx, const std::string &rule, int line)
+{
+    if (ctx.file_allows.count(rule))
+        return true;
+    auto hit = [&](int l) {
+        auto it = ctx.line_allows.find(l);
+        return it != ctx.line_allows.end() && it->second.count(rule);
+    };
+    if (hit(line))
+        return true;
+    // A directive in the comment block directly above the offending
+    // line covers it: walk up through lines that carry no code
+    // tokens (comments, blanks); the first code line breaks the
+    // chain so a hatch never leaks past the statement it annotates.
+    for (int l = line - 1; l >= 1; --l) {
+        if (hit(l))
+            return true;
+        if (ctx.code_lines.count(l))
+            break;
+    }
+    return false;
+}
+
+void
+report(std::vector<Finding> &out, const FileCtx &ctx,
+       const std::string &rule, int line, std::string msg)
+{
+    if (allowed(ctx, rule, line))
+        return;
+    out.push_back({ctx.rel, line, rule, std::move(msg)});
+}
+
+bool
+isHotPathFile(const std::string &rel)
+{
+    // The vectorized prediction stack (PCHR feature maintenance, the
+    // SoA ISVM table, predictMany, and the SIMD kernels) is as hot as
+    // the simulator proper: every LLC access runs through it. The
+    // serving layer's ingest ring carries every advice request, so
+    // its push/pop path is held to the same no-allocation rule. The
+    // gtrace codec sits under every streamed access (the writer's
+    // push/flush path and the reader's chunk decode both run per
+    // record at billion-access scale), so it is hot too; the
+    // AccessSource replay loop lives under src/cachesim/ and is
+    // already covered by the directory rule.
+    static const std::set<std::string> hot_files = {
+        "src/common/simd.hh",
+        "src/core/glider_policy.hh",
+        "src/core/glider_predictor.hh",
+        "src/core/isvm.hh",
+        "src/core/pc_history_register.hh",
+        "src/serve/mpsc_queue.hh",
+        "src/traces/gtrace.cc",
+        "src/traces/gtrace.hh",
+    };
+    return startsWith(rel, "src/cachesim/")
+        || startsWith(rel, "src/policies/")
+        || startsWith(rel, "src/opt/") || hot_files.count(rel) != 0;
+}
+
+std::string
+allocationAt(const FileCtx &ctx, std::size_t i)
+{
+    static const std::set<std::string> alloc_fns = {
+        "malloc", "calloc", "realloc", "strdup", "aligned_alloc"};
+    static const std::set<std::string> smart_ptr = {"make_unique",
+                                                    "make_shared"};
+    static const std::set<std::string> growth = {
+        "push_back", "emplace_back", "push_front", "emplace_front",
+        "resize",    "assign",       "insert",     "emplace",
+        "append"};
+    const Token &t = ctx.toks[i];
+    if (t.kind != Token::Kind::Ident)
+        return "";
+    auto next_is_call = [&] {
+        return i + 1 < ctx.toks.size() && ctx.toks[i + 1].text == "(";
+    };
+    auto is_member_call = [&] {
+        return i > 0
+            && (ctx.toks[i - 1].text == "."
+                || ctx.toks[i - 1].text == "->")
+            && next_is_call();
+    };
+    if (t.text == "new" && (i == 0 || ctx.toks[i - 1].text != "::"))
+        return "operator new";
+    if (alloc_fns.count(t.text) && next_is_call())
+        return t.text + "()";
+    if (smart_ptr.count(t.text))
+        return "std::" + t.text;
+    if (growth.count(t.text) && is_member_call())
+        return "." + t.text + "() container growth";
+    return "";
+}
+
+// --------------------------------------------------------- scope tracker
+
+void
+ScopeTracker::step(std::size_t i)
+{
+    const Token &t = toks_[i];
+    if (t.kind == Token::Kind::Pp)
+        return;
+    bool structural = innermostIsTypeScope();
+    if (structural)
+        pendingStep(i);
+    if (t.kind == Token::Kind::Punct && t.text == "{") {
+        openBrace(i, structural);
+        return;
+    }
+    if (t.kind == Token::Kind::Punct && t.text == "}") {
+        if (init_brace_ > 0) {
+            --init_brace_;
+            return;
+        }
+        if (!stack_.empty())
+            stack_.pop_back();
+        return;
+    }
+}
+
+const ScopeTracker::Scope *
+ScopeTracker::enclosingFunction() const
+{
+    for (auto it = stack_.rbegin(); it != stack_.rend(); ++it) {
+        if (it->kind == Scope::Kind::Function)
+            return &*it;
+    }
+    return nullptr;
+}
+
+const ScopeTracker::Scope *
+ScopeTracker::innermost() const
+{
+    return stack_.empty() ? nullptr : &stack_.back();
+}
+
+int
+ScopeTracker::functionDepth() const
+{
+    int depth = 0;
+    for (const Scope &s : stack_)
+        if (s.kind == Scope::Kind::Function)
+            ++depth;
+    return depth;
+}
+
+std::string
+ScopeTracker::functionPath() const
+{
+    const Scope *fn = enclosingFunction();
+    if (fn == nullptr)
+        return "";
+    std::string path;
+    for (const Scope &s : stack_) {
+        if (&s == fn)
+            break;
+        if ((s.kind == Scope::Kind::Namespace
+             || s.kind == Scope::Kind::Class)
+            && !s.name.empty()) {
+            if (!path.empty())
+                path += "::";
+            path += s.name;
+        }
+    }
+    if (!fn->outer.empty()
+        && (path.empty() || !endsWith(path, fn->outer.c_str()))) {
+        if (!path.empty())
+            path += "::";
+        path += fn->outer;
+    }
+    return path;
+}
+
+bool
+ScopeTracker::innermostIsTypeScope() const
+{
+    if (init_brace_ > 0)
+        return false;
+    if (stack_.empty())
+        return true;
+    Scope::Kind k = stack_.back().kind;
+    return k == Scope::Kind::Namespace || k == Scope::Kind::Class;
+}
+
+bool
+ScopeTracker::isKeyword(const std::string &s)
+{
+    static const std::set<std::string> kw = {
+        "if",     "for",    "while",   "switch",        "catch",
+        "return", "sizeof", "alignof", "static_assert", "decltype",
+        "noexcept", "alignas", "__attribute__"};
+    return kw.count(s) != 0;
+}
+
+std::string
+ScopeTracker::qualifiedNameEndingAt(std::size_t i) const
+{
+    std::string name = toks_[i].text;
+    std::size_t j = i;
+    // ~Dtor
+    if (j > 0 && toks_[j - 1].text == "~")
+        name = "~" + name;
+    while (j >= 2 && toks_[j - 1].text == "::"
+           && toks_[j - 2].kind == Token::Kind::Ident) {
+        name = toks_[j - 2].text + "::" + name;
+        j -= 2;
+    }
+    return name;
+}
+
+void
+ScopeTracker::pendingStep(std::size_t i)
+{
+    const Token &t = toks_[i];
+    switch (pending_) {
+      case Pending::None:
+        if (t.text == "(" && i > 0) {
+            const Token &p = toks_[i - 1];
+            // An identifier directly preceded by '(' is an argument
+            // of something else — `__attribute__((target("avx2")))`
+            // — never a definition's name: real signatures follow a
+            // type, '::', '>', '*', '&', or a statement boundary.
+            // ALL_CAPS names are unexpandable macro invocations
+            // (GLIDER_GUARDED_BY(m_), ...), never definitions.
+            bool arg_pos = i >= 2 && toks_[i - 2].text == "(";
+            if (p.kind == Token::Kind::Ident && !isKeyword(p.text)
+                && !arg_pos && !looksLikeMacroName(p.text)) {
+                pending_name_ = qualifiedNameEndingAt(i - 1);
+                pending_line_ = p.line;
+                pending_ = Pending::InParams;
+                paren_depth_ = 1;
+            } else if (p.text == "]") {
+                // operator[] definition.
+                if (i >= 3 && toks_[i - 3].text == "operator") {
+                    pending_name_ = "operator[]";
+                    pending_line_ = p.line;
+                    pending_ = Pending::InParams;
+                    paren_depth_ = 1;
+                }
+            } else if (p.text == "operator") {
+                // operator()(params): this '(' is part of the
+                // name; the parameter list is scanned by the
+                // AfterParams paren-skipping below.
+                pending_name_ = "operator()";
+                pending_line_ = p.line;
+                pending_ = Pending::InParams;
+                paren_depth_ = 1;
+            }
+        }
+        break;
+      case Pending::InParams:
+        if (t.text == "(")
+            ++paren_depth_;
+        else if (t.text == ")" && --paren_depth_ == 0)
+            pending_ = Pending::AfterParams;
+        break;
+      case Pending::AfterParams:
+        if (t.text == "(") {
+            ++after_parens_;
+        } else if (t.text == ")") {
+            if (after_parens_ > 0)
+                --after_parens_;
+        } else if (after_parens_ == 0) {
+            if (t.text == ";" || t.text == "=")
+                pending_ = Pending::None;
+            else if (t.text == ":")
+                pending_ = Pending::CtorInit;
+            // "{" handled by openBrace(); other tokens (const,
+            // noexcept, override, ->, type names) keep waiting.
+        }
+        break;
+      case Pending::CtorInit:
+        if (t.text == "(")
+            ++init_paren_;
+        else if (t.text == ")" && init_paren_ > 0)
+            --init_paren_;
+        // Braces are resolved in openBrace()/step("}").
+        break;
+    }
+}
+
+void
+ScopeTracker::openBrace(std::size_t i, bool structural)
+{
+    if (!structural) {
+        if (init_brace_ > 0)
+            ++init_brace_;
+        else
+            stack_.push_back({Scope::Kind::Block, "", false, "", 0});
+        return;
+    }
+    if (pending_ == Pending::AfterParams && after_parens_ == 0) {
+        pushFunction();
+        return;
+    }
+    if (pending_ == Pending::CtorInit && init_paren_ == 0) {
+        // `Member{...}` brace-init vs the constructor body: the
+        // body brace follows ')', '}' or the init-list comma
+        // context; a brace directly after an identifier or
+        // template-close is a member initializer.
+        const std::string &p = i > 0 ? toks_[i - 1].text : "";
+        bool member_init = i > 0
+            && (toks_[i - 1].kind == Token::Kind::Ident || p == ">");
+        if (member_init) {
+            ++init_brace_;
+            return;
+        }
+        pushFunction();
+        return;
+    }
+    // Not a function body: namespace / class / aggregate.
+    classifyTypeBrace(i);
+}
+
+void
+ScopeTracker::pushFunction()
+{
+    std::string last = pending_name_;
+    std::string outer;
+    std::size_t pos = last.rfind("::");
+    if (pos != std::string::npos) {
+        outer = last.substr(0, pos);
+        std::size_t p2 = outer.rfind("::");
+        if (p2 != std::string::npos)
+            outer = outer.substr(p2 + 2);
+        last = last.substr(pos + 2);
+    } else if (!stack_.empty()
+               && stack_.back().kind == Scope::Kind::Class) {
+        outer = stack_.back().name;
+    }
+    static const std::set<std::string> cold_names = {
+        "reset", "exportMetrics", "clearStats", "clearStatsCounters",
+        "clearCounters"};
+    bool cold = cold_names.count(last) != 0 || last == outer
+        || (!last.empty() && last[0] == '~');
+    stack_.push_back(
+        {Scope::Kind::Function, last, cold, outer, pending_line_});
+    pending_ = Pending::None;
+    after_parens_ = 0;
+    init_paren_ = 0;
+}
+
+void
+ScopeTracker::classifyTypeBrace(std::size_t i)
+{
+    // Scan back to the previous structural boundary.
+    std::size_t j = i;
+    std::size_t limit = i > 64 ? i - 64 : 0;
+    std::size_t type_kw = SIZE_MAX;
+    bool saw_paren = false;
+    bool saw_namespace = false;
+    int pdepth = 0;
+    while (j > limit) {
+        --j;
+        const std::string &x = toks_[j].text;
+        if (x == ";" || x == "}" || x == "{")
+            break;
+        if (x == ")") {
+            ++pdepth;
+            continue;
+        }
+        if (x == "(") {
+            if (pdepth > 0)
+                --pdepth;
+            // A paren group that is an ALL_CAPS macro invocation —
+            // `class GLIDER_CAPABILITY("mutex") Mutex {` — is an
+            // attribute, not a signature; it must not veto the
+            // class-scope classification below.
+            bool macro = pdepth == 0 && j > 0
+                && toks_[j - 1].kind == Token::Kind::Ident
+                && looksLikeMacroName(toks_[j - 1].text);
+            if (!macro)
+                saw_paren = true;
+            continue;
+        }
+        if (toks_[j].kind == Token::Kind::Ident) {
+            if (x == "namespace") {
+                saw_namespace = true;
+                type_kw = j;
+                break;
+            }
+            if (x == "class" || x == "struct" || x == "union"
+                || x == "enum") {
+                type_kw = j;
+            }
+        }
+    }
+    if (saw_namespace) {
+        std::string name;
+        if (type_kw + 1 < i
+            && toks_[type_kw + 1].kind == Token::Kind::Ident)
+            name = toks_[type_kw + 1].text;
+        stack_.push_back({Scope::Kind::Namespace, name, false, "", 0});
+        return;
+    }
+    if (type_kw != SIZE_MAX && !saw_paren) {
+        std::size_t n = type_kw + 1;
+        while (n < i
+               && (toks_[n].text == "class"
+                   || toks_[n].text == "struct"
+                   || toks_[n].kind != Token::Kind::Ident
+                   || looksLikeMacroName(toks_[n].text)))
+            ++n;
+        std::string name = n < i
+                && toks_[n].kind == Token::Kind::Ident
+            ? toks_[n].text
+            : "";
+        stack_.push_back({Scope::Kind::Class, name, false, "", 0});
+        return;
+    }
+    // Aggregate initializer or unrecognized: treat as a block so
+    // brace matching stays balanced.
+    stack_.push_back({Scope::Kind::Block, "", false, "", 0});
+}
+
+// ------------------------------------------------------------ allow rule
+
+void
+ruleAllowReason(const FileCtx &ctx, std::vector<Finding> &out)
+{
+    // The offending directive is itself the hatch, so this rule
+    // bypasses allowed(): the only way to silence it is to write the
+    // reason.
+    for (const auto &[line, rules] : ctx.bare_allows) {
+        std::string list;
+        for (const std::string &r : rules) {
+            if (!list.empty())
+                list += ", ";
+            list += r;
+        }
+        out.push_back(
+            {ctx.rel, line, "allow-reason",
+             "escape hatch allow(" + list
+                 + ") has no reason — every hatch must say why the "
+                   "exemption is sound"});
+    }
+}
+
+} // namespace lint
+} // namespace glider

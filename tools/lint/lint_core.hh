@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Shared core of glider_lint: the light C++ tokenizer, the per-file
+ * lint context (tokens, escape-hatch directives, glider-mo contract
+ * comments), the finding/report plumbing, and the scope tracker the
+ * semantic rules build on. No libclang — a tokenizer plus a scope
+ * model good enough for this codebase's style.
+ */
+
+#ifndef GLIDER_TOOLS_LINT_LINT_CORE_HH
+#define GLIDER_TOOLS_LINT_LINT_CORE_HH
+
+#include <cstddef>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace glider {
+namespace lint {
+
+struct Token
+{
+    enum class Kind { Ident, Punct, String, CharLit, Number, Pp };
+    Kind kind = Kind::Punct;
+    std::string text; //!< raw text; literals keep escapes unprocessed
+    int line = 0;
+};
+
+/** Per-file lint context: source, tokens, and comment directives. */
+struct FileCtx
+{
+    std::string rel;     //!< repo-relative path with '/' separators
+    std::string content; //!< raw bytes
+    std::vector<std::string> lines; //!< content split at '\n'
+    std::vector<Token> toks;        //!< comments stripped
+    std::map<int, std::set<std::string>> line_allows;
+    std::set<std::string> file_allows;
+    /** allow()/allow-file() directives with no trailing reason text,
+     *  keyed by line, carrying the rule list for the message. */
+    std::map<int, std::vector<std::string>> bare_allows;
+    /** `// glider-mo: <role>` contract comments, keyed by line. */
+    std::map<int, std::string> mo_contracts;
+    std::set<int> code_lines; //!< lines carrying at least one token
+};
+
+struct Finding
+{
+    std::string file;
+    int line = 0;
+    std::string rule;
+    std::string msg;
+};
+
+/** Tokenize ctx.content into ctx.toks, collecting directives. */
+void tokenize(FileCtx &ctx);
+
+/** True when an allow() hatch covers (rule, line) in this file. */
+bool allowed(const FileCtx &ctx, const std::string &rule, int line);
+
+/** Append a finding unless an escape hatch covers it. */
+void report(std::vector<Finding> &out, const FileCtx &ctx,
+            const std::string &rule, int line, std::string msg);
+
+bool startsWith(const std::string &s, const char *prefix);
+bool endsWith(const std::string &s, const char *suffix);
+
+/** Hot-path file set shared by hotpath-alloc and hotpath-transitive. */
+bool isHotPathFile(const std::string &rel);
+
+/** ALL_CAPS idents are macros the tokenizer cannot expand. */
+bool looksLikeMacroName(const std::string &name);
+
+/**
+ * Direct heap allocation or container growth at token @p i: returns
+ * a short description ("operator new", ".push_back() container
+ * growth", ...) or "" when token @p i is not an allocation.
+ */
+std::string allocationAt(const FileCtx &ctx, std::size_t i);
+
+/**
+ * Tracks namespace/class/function/block scopes over the token stream,
+ * tuned to this repo's style. Good enough to know, at any token, the
+ * innermost enclosing function and whether it is a designated
+ * cold-path function (setup/teardown/telemetry).
+ */
+class ScopeTracker
+{
+  public:
+    struct Scope
+    {
+        enum class Kind { Namespace, Class, Function, Block };
+        Kind kind;
+        std::string name;
+        bool cold = false;
+        std::string outer; //!< class qualifier for functions
+        int line = 0;      //!< body-brace line for functions
+    };
+
+    explicit ScopeTracker(const std::vector<Token> &toks) : toks_(toks)
+    {
+    }
+
+    /** Feed token @p i; call once per token, in order. */
+    void step(std::size_t i);
+
+    /** Innermost enclosing function, or nullptr at type/ns scope. */
+    const Scope *enclosingFunction() const;
+
+    /** Innermost scope, or nullptr at translation-unit scope. */
+    const Scope *innermost() const;
+
+    /** Number of Function scopes currently open. */
+    int functionDepth() const;
+
+    /**
+     * Namespace/class path of the innermost function, joined with
+     * "::" (including the out-of-class qualifier of a qualified
+     * definition), or "" when no function is open.
+     */
+    std::string functionPath() const;
+
+  private:
+    enum class Pending { None, InParams, AfterParams, CtorInit };
+
+    bool innermostIsTypeScope() const;
+    static bool isKeyword(const std::string &s);
+    std::string qualifiedNameEndingAt(std::size_t i) const;
+    void pendingStep(std::size_t i);
+    void openBrace(std::size_t i, bool structural);
+    void pushFunction();
+    void classifyTypeBrace(std::size_t i);
+
+    const std::vector<Token> &toks_;
+    std::vector<Scope> stack_;
+    Pending pending_ = Pending::None;
+    std::string pending_name_;
+    int pending_line_ = 0;
+    int paren_depth_ = 0;
+    int after_parens_ = 0;
+    int init_paren_ = 0;
+    int init_brace_ = 0;
+};
+
+/** allow-reason rule: every escape hatch must state why. */
+void ruleAllowReason(const FileCtx &ctx, std::vector<Finding> &out);
+
+} // namespace lint
+} // namespace glider
+
+#endif // GLIDER_TOOLS_LINT_LINT_CORE_HH
