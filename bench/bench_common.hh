@@ -136,6 +136,41 @@ buildSource(const std::string &name)
     return std::make_unique<sim::TraceSource>(buildTrace(name));
 }
 
+/**
+ * Adversarial-scenario trace length (CPU accesses) for the policy-zoo
+ * grid. GLIDER_SCENARIO_ACCESSES; 0 (the default) inherits
+ * GLIDER_ACCESSES so the grid scales with the main sweep.
+ */
+inline std::uint64_t
+scenarioAccesses()
+{
+    std::uint64_t v = env::u64(env::Knob::ScenarioAccesses);
+    return v > 0 ? v : traceAccesses();
+}
+
+/** buildTrace at the scenario length (adversarial grid cells). */
+inline const traces::Trace &
+buildScenarioTrace(const std::string &name)
+{
+    return workloads::cachedTrace(name, scenarioAccesses());
+}
+
+/** buildSource at the scenario length (adversarial grid cells). */
+inline std::unique_ptr<sim::AccessSource>
+buildScenarioSource(const std::string &name)
+{
+    if (workloads::traceSpillEnabled()) {
+        std::string path =
+            workloads::ensureSpilledTrace(name, scenarioAccesses());
+        traces::StreamingTrace st;
+        std::string error;
+        if (!st.open(path, &error))
+            GLIDER_FATAL("cannot stream " + path + ": " + error);
+        return std::make_unique<sim::StreamingSource>(std::move(st));
+    }
+    return std::make_unique<sim::TraceSource>(buildScenarioTrace(name));
+}
+
 /** Run one workload trace under one policy (single core). */
 inline sim::SingleCoreResult
 runPolicy(const traces::Trace &trace, const std::string &policy)

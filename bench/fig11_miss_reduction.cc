@@ -32,6 +32,15 @@ runMin(const traces::Trace &trace, const CancelToken &cancel)
         trace, std::make_unique<opt::BeladyPolicy>(llc_stream), opts);
 }
 
+/** Zoo-grid columns: the policy zoo plus Glider as the learned bound. */
+std::vector<std::string>
+gridPolicies()
+{
+    auto policies = core::zooLineup();
+    policies.push_back("Glider");
+    return policies;
+}
+
 } // namespace
 
 int
@@ -60,10 +69,40 @@ main()
                                           cancel);
                         });
     }
-    const auto outcome =
-        sweep.runChecked(bench::sweepOptions("fig11_miss_reduction"));
+
+    // Policy zoo x adversarial scenarios: appended to the same sweep
+    // (one checkpoint file, shared worker pool); cells run at the
+    // scenario trace length (GLIDER_SCENARIO_ACCESSES).
+    const auto zoo = gridPolicies();
+    const auto scenarios = workloads::scenarioWorkloads();
+    std::vector<std::string> grid_cols{"LRU"};
+    grid_cols.insert(grid_cols.end(), zoo.begin(), zoo.end());
+    for (const auto &scen : scenarios) {
+        for (const auto &p : grid_cols) {
+            sweep.queueCell(scen + "/" + p,
+                            [scen, p](const CancelToken &cancel) {
+                                auto source =
+                                    bench::buildScenarioSource(scen);
+                                return bench::runPolicy(*source, p,
+                                                        &cancel);
+                            });
+        }
+        sweep.queueCell(scen + "/MIN",
+                        [scen](const CancelToken &cancel) {
+                            return runMin(
+                                bench::buildScenarioTrace(scen),
+                                cancel);
+                        });
+    }
+
+    auto sweep_opts = bench::sweepOptions("fig11_miss_reduction");
+    sweep_opts.config["scenario_accesses"] =
+        obs::json::Value(bench::scenarioAccesses());
+    const auto outcome = sweep.runChecked(sweep_opts);
     const auto &rows = outcome.cells;
     const std::size_t stride = policies.size() + 2;
+    const std::size_t grid_base = names.size() * stride;
+    const std::size_t grid_stride = zoo.size() + 2; // LRU ... MIN
 
     std::printf("%-14s %9s", "Benchmark", "LRU-MPKI");
     for (const auto &p : policies)
@@ -71,6 +110,8 @@ main()
     std::printf(" %9s\n", "MIN");
 
     auto report = bench::makeReport("fig11_miss_reduction");
+    report.config("scenario_accesses",
+                  obs::json::Value(bench::scenarioAccesses()));
     std::map<std::string, std::vector<double>> suite_acc;
     std::map<std::string, std::vector<double>> all_acc;
     for (std::size_t i = 0; i < names.size(); ++i) {
@@ -136,6 +177,60 @@ main()
         double avg = amean(all_acc[p]);
         std::printf(" %11.1f%%", avg);
         report.metric("miss_reduction_pct.avg.ALL." + p, avg, "%",
+                      obs::Direction::HigherBetter);
+    }
+    std::printf("\n");
+
+    // ---- Policy zoo x adversarial scenarios -------------------------
+    std::printf("\nPolicy zoo x adversarial scenarios (miss reduction "
+                "over LRU, %llu accesses)\n",
+                static_cast<unsigned long long>(
+                    bench::scenarioAccesses()));
+    std::printf("%-16s %9s", "Scenario", "LRU-MPKI");
+    for (const auto &p : zoo)
+        std::printf(" %10s", p.c_str());
+    std::printf(" %10s\n", "MIN");
+
+    std::map<std::string, std::vector<double>> grid_acc;
+    for (std::size_t s = 0; s < scenarios.size(); ++s) {
+        const auto &scen = scenarios[s];
+        const bench::SweepRunner::CellOutcome *row =
+            &rows[grid_base + s * grid_stride];
+        if (!row[0].ok()) {
+            std::printf("%-16s %9s (baseline quarantined)\n",
+                        scen.c_str(), "n/a");
+            continue;
+        }
+        const auto &lru = row[0].row;
+        std::printf("%-16s %9.2f", scen.c_str(), lru.mpki());
+        for (std::size_t p = 0; p < zoo.size(); ++p) {
+            if (!row[1 + p].ok()) {
+                std::printf(" %10s", "n/a");
+                continue;
+            }
+            double red = bench::missReductionPct(lru, row[1 + p].row);
+            std::printf(" %9.1f%%", red);
+            grid_acc[zoo[p]].push_back(red);
+            report.metric("grid.miss_reduction_pct." + scen + "."
+                              + zoo[p],
+                          red, "%", obs::Direction::Info);
+        }
+        if (row[grid_stride - 1].ok()) {
+            double min_red =
+                bench::missReductionPct(lru, row[grid_stride - 1].row);
+            std::printf(" %9.1f%%\n", min_red);
+            report.metric("grid.miss_reduction_pct." + scen + ".MIN",
+                          min_red, "%", obs::Direction::Info);
+        } else {
+            std::printf(" %10s\n", "n/a");
+        }
+        std::fflush(stdout);
+    }
+    std::printf("%-16s %9s", "Scenario avg", "");
+    for (const auto &p : zoo) {
+        double avg = amean(grid_acc[p]);
+        std::printf(" %9.1f%%", avg);
+        report.metric("grid.miss_reduction_pct.avg." + p, avg, "%",
                       obs::Direction::HigherBetter);
     }
     std::printf("\n");

@@ -32,10 +32,34 @@ main()
         for (const auto &p : policies)
             sweep.queue(name, p);
     }
-    const auto outcome =
-        sweep.runChecked(bench::sweepOptions("fig12_speedup"));
+
+    // Policy zoo x adversarial scenarios, appended to the same sweep
+    // (one checkpoint file) at the scenario trace length.
+    auto zoo = core::zooLineup();
+    zoo.push_back("Glider");
+    const auto scenarios = workloads::scenarioWorkloads();
+    std::vector<std::string> grid_cols{"LRU"};
+    grid_cols.insert(grid_cols.end(), zoo.begin(), zoo.end());
+    for (const auto &scen : scenarios) {
+        for (const auto &p : grid_cols) {
+            sweep.queueCell(scen + "/" + p,
+                            [scen, p](const CancelToken &cancel) {
+                                auto source =
+                                    bench::buildScenarioSource(scen);
+                                return bench::runPolicy(*source, p,
+                                                        &cancel);
+                            });
+        }
+    }
+
+    auto sweep_opts = bench::sweepOptions("fig12_speedup");
+    sweep_opts.config["scenario_accesses"] =
+        obs::json::Value(bench::scenarioAccesses());
+    const auto outcome = sweep.runChecked(sweep_opts);
     const auto &rows = outcome.cells;
     const std::size_t stride = policies.size() + 1;
+    const std::size_t grid_base = names.size() * stride;
+    const std::size_t grid_stride = zoo.size() + 1; // LRU first
 
     std::printf("%-14s %9s", "Benchmark", "LRU-IPC");
     for (const auto &p : policies)
@@ -43,6 +67,8 @@ main()
     std::printf("\n");
 
     auto report = bench::makeReport("fig12_speedup");
+    report.config("scenario_accesses",
+                  obs::json::Value(bench::scenarioAccesses()));
     std::map<std::string, std::vector<double>> suite_acc;
     std::map<std::string, std::vector<double>> all_acc;
     for (std::size_t i = 0; i < names.size(); ++i) {
@@ -97,6 +123,51 @@ main()
         double avg = amean(all_acc[p]);
         std::printf(" %11.1f%%", avg);
         report.metric("speedup_pct.avg.ALL." + p, avg, "%",
+                      obs::Direction::HigherBetter);
+    }
+    std::printf("\n");
+
+    // ---- Policy zoo x adversarial scenarios -------------------------
+    std::printf("\nPolicy zoo x adversarial scenarios (speedup over "
+                "LRU, %llu accesses)\n",
+                static_cast<unsigned long long>(
+                    bench::scenarioAccesses()));
+    std::printf("%-16s %9s", "Scenario", "LRU-IPC");
+    for (const auto &p : zoo)
+        std::printf(" %10s", p.c_str());
+    std::printf("\n");
+
+    std::map<std::string, std::vector<double>> grid_acc;
+    for (std::size_t s = 0; s < scenarios.size(); ++s) {
+        const auto &scen = scenarios[s];
+        const bench::SweepRunner::CellOutcome *row =
+            &rows[grid_base + s * grid_stride];
+        if (!row[0].ok()) {
+            std::printf("%-16s %9s (baseline quarantined)\n",
+                        scen.c_str(), "n/a");
+            continue;
+        }
+        const auto &lru = row[0].row;
+        std::printf("%-16s %9.3f", scen.c_str(), lru.ipc);
+        for (std::size_t p = 0; p < zoo.size(); ++p) {
+            if (!row[1 + p].ok()) {
+                std::printf(" %10s", "n/a");
+                continue;
+            }
+            double up = bench::speedupPct(lru, row[1 + p].row);
+            std::printf(" %9.1f%%", up);
+            grid_acc[zoo[p]].push_back(up);
+            report.metric("grid.speedup_pct." + scen + "." + zoo[p],
+                          up, "%", obs::Direction::Info);
+        }
+        std::printf("\n");
+        std::fflush(stdout);
+    }
+    std::printf("%-16s %9s", "Scenario avg", "");
+    for (const auto &p : zoo) {
+        double avg = amean(grid_acc[p]);
+        std::printf(" %9.1f%%", avg);
+        report.metric("grid.speedup_pct.avg." + p, avg, "%",
                       obs::Direction::HigherBetter);
     }
     std::printf("\n");

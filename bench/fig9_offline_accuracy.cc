@@ -34,10 +34,9 @@ struct Row
 };
 
 Row
-trainAndEvaluate(const std::string &name,
+trainAndEvaluate(const traces::Trace &trace,
                  const offline::LstmConfig &lstm_cfg)
 {
-    const auto &trace = bench::buildTrace(name);
     auto ds = offline::buildDataset(trace);
     bench::capDataset(ds, 150'000);
 
@@ -61,6 +60,13 @@ trainAndEvaluate(const std::string &name,
     row.isvm = 100.0 * isvm.evaluate(ds);
     row.lstm = 100.0 * lstm.evaluate(ds);
     return row;
+}
+
+Row
+trainAndEvaluate(const std::string &name,
+                 const offline::LstmConfig &lstm_cfg)
+{
+    return trainAndEvaluate(bench::buildTrace(name), lstm_cfg);
 }
 
 } // namespace
@@ -98,6 +104,8 @@ main()
                 "Majority", "Hawkeye", "Perceptron", "OfflineISVM",
                 "LSTM");
     auto report = bench::makeReport("fig9_offline_accuracy");
+    report.config("scenario_accesses",
+                  obs::json::Value(bench::scenarioAccesses()));
     std::vector<double> acc_h, acc_p, acc_i, acc_l;
     for (std::size_t i = 0; i < names.size(); ++i) {
         if (rows[i].status == resilience::CellStatus::Quarantined) {
@@ -139,6 +147,69 @@ main()
                   obs::Direction::HigherBetter);
     report.metric("accuracy_pct.avg.lstm", amean(acc_l), "%",
                   obs::Direction::HigherBetter);
+    // ---- Model x adversarial scenarios ------------------------------
+    // How learnable each scenario kernel's Belady labels are, per
+    // predictor family — the offline counterpart of the fig11/fig12
+    // policy-zoo grid (traces at GLIDER_SCENARIO_ACCESSES).
+    const auto scenarios = workloads::scenarioWorkloads();
+    const auto srows = bench::parallelMap(
+        scenarios, [&](const std::string &name) {
+            return resilience::runCell<Row>(
+                name + "/offline",
+                [&](const CancelToken &) {
+                    return trainAndEvaluate(
+                        bench::buildScenarioTrace(name), lstm_cfg);
+                },
+                recovery, &fault_plan);
+        });
+
+    std::printf("\nModel x adversarial scenarios (offline accuracy)\n");
+    std::printf("%-16s %9s %10s %12s %12s %10s\n", "Scenario",
+                "Majority", "Hawkeye", "Perceptron", "OfflineISVM",
+                "LSTM");
+    std::vector<double> sacc_h, sacc_p, sacc_i, sacc_l;
+    for (std::size_t i = 0; i < scenarios.size(); ++i) {
+        if (srows[i].status == resilience::CellStatus::Quarantined) {
+            std::printf("%-16s %9s (quarantined: %s)\n",
+                        scenarios[i].c_str(), "n/a",
+                        srows[i].error.c_str());
+            report.quarantine(scenarios[i] + "/offline",
+                              srows[i].error, srows[i].attempts);
+            continue;
+        }
+        const Row &row = *srows[i].value;
+        sacc_h.push_back(row.hawkeye);
+        sacc_p.push_back(row.perceptron);
+        sacc_i.push_back(row.isvm);
+        sacc_l.push_back(row.lstm);
+        report.metric("grid.accuracy_pct." + scenarios[i] + ".majority",
+                      row.majority, "%", obs::Direction::Info);
+        report.metric("grid.accuracy_pct." + scenarios[i] + ".hawkeye",
+                      row.hawkeye, "%", obs::Direction::Info);
+        report.metric("grid.accuracy_pct." + scenarios[i]
+                          + ".perceptron",
+                      row.perceptron, "%", obs::Direction::Info);
+        report.metric("grid.accuracy_pct." + scenarios[i] + ".isvm",
+                      row.isvm, "%", obs::Direction::Info);
+        report.metric("grid.accuracy_pct." + scenarios[i] + ".lstm",
+                      row.lstm, "%", obs::Direction::Info);
+        std::printf("%-16s %8.1f%% %9.1f%% %11.1f%% %11.1f%% %9.1f%%\n",
+                    scenarios[i].c_str(), row.majority, row.hawkeye,
+                    row.perceptron, row.isvm, row.lstm);
+        std::fflush(stdout);
+    }
+    std::printf("%-16s %9s %9.1f%% %11.1f%% %11.1f%% %9.1f%%\n",
+                "average", "", amean(sacc_h), amean(sacc_p),
+                amean(sacc_i), amean(sacc_l));
+    report.metric("grid.accuracy_pct.avg.hawkeye", amean(sacc_h), "%",
+                  obs::Direction::HigherBetter);
+    report.metric("grid.accuracy_pct.avg.perceptron", amean(sacc_p),
+                  "%", obs::Direction::HigherBetter);
+    report.metric("grid.accuracy_pct.avg.isvm", amean(sacc_i), "%",
+                  obs::Direction::HigherBetter);
+    report.metric("grid.accuracy_pct.avg.lstm", amean(sacc_l), "%",
+                  obs::Direction::HigherBetter);
+
     std::printf("\nShape check (paper): LSTM and offline ISVM are "
                 "within a point or two of each other and clearly above "
                 "Hawkeye\nand the ordered-history Perceptron.\n");

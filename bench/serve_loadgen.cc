@@ -54,6 +54,7 @@
 
 #include "bench_common.hh"
 #include "common/rng.hh"
+#include "common/zipf.hh"
 #include "serve/advice_engine.hh"
 
 namespace glider {
@@ -69,37 +70,9 @@ struct Op
     bool opt_hit = false;
 };
 
-/** Zipf(s) sampler over ranks [0, n) via a precomputed CDF. */
-class ZipfPicker
-{
-  public:
-    ZipfPicker(std::size_t n, double s)
-    {
-        cdf_.reserve(n);
-        double total = 0.0;
-        for (std::size_t r = 0; r < n; ++r) {
-            total += 1.0
-                / std::pow(static_cast<double>(r + 1), s);
-            cdf_.push_back(total);
-        }
-        for (double &c : cdf_)
-            c /= total;
-    }
-
-    std::size_t
-    pick(Rng &rng) const
-    {
-        double u = rng.uniform();
-        for (std::size_t r = 0; r + 1 < cdf_.size(); ++r) {
-            if (u < cdf_[r])
-                return r;
-        }
-        return cdf_.size() - 1;
-    }
-
-  private:
-    std::vector<double> cdf_;
-};
+// Tenant skew comes from the shared exact-CDF sampler (promoted to
+// common/zipf.hh); its binary-search pick draws the same ranks as the
+// linear scan that used to live here, so output is unchanged.
 
 /** Deterministic operation stream for one client. */
 std::vector<Op>

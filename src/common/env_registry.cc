@@ -53,6 +53,8 @@ const KnobInfo kKnobs[] = {
      "fig13 number of random multicore workload mixes."},
     {Knob::MixAccesses, "GLIDER_MIX_ACCESSES", "u64", "300000",
      "fig13 per-core accesses per mix."},
+    {Knob::ScenarioAccesses, "GLIDER_SCENARIO_ACCESSES", "u64", "0",
+     "Adversarial-scenario trace length; 0 = GLIDER_ACCESSES."},
     {Knob::ServeClients, "GLIDER_SERVE_CLIENTS", "u64", "4",
      "serve_loadgen concurrent closed-loop clients."},
     {Knob::ServeQueueCap, "GLIDER_SERVE_QUEUE_CAP", "u64", "1024",

@@ -45,6 +45,7 @@ enum class Knob {
     MicroReps,          //!< GLIDER_MICRO_REPS
     Mixes,              //!< GLIDER_MIXES
     MixAccesses,        //!< GLIDER_MIX_ACCESSES
+    ScenarioAccesses,   //!< GLIDER_SCENARIO_ACCESSES
     ServeClients,       //!< GLIDER_SERVE_CLIENTS
     ServeQueueCap,      //!< GLIDER_SERVE_QUEUE_CAP
     ServeRequests,      //!< GLIDER_SERVE_REQUESTS

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Exact Zipf(s) sampling over ranks [0, n) via a precomputed,
+ * normalised CDF — promoted out of bench/serve_loadgen.cc so the
+ * adversarial scenario kernels and the serving load generator share
+ * one sampler.
+ *
+ * This is the *exact* inverse-CDF sampler: rank r carries probability
+ * 1/(r+1)^s / H(n,s). It is distinct from workloads::zipfDraw, the
+ * cheap power-law approximation the SPEC-like kernels keep using
+ * because committed golden traces and spill fingerprints depend on
+ * its exact output (see spec_kernels.cc).
+ *
+ * Construction is O(n) time and space and belongs in setup code;
+ * pick() is an O(log n) binary search, allocation-free, and safe on
+ * the simulation hot path.
+ */
+
+#ifndef GLIDER_COMMON_ZIPF_HH
+#define GLIDER_COMMON_ZIPF_HH
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.hh"
+
+namespace glider {
+
+/** Zipf(s) sampler over ranks [0, n) via a precomputed CDF. */
+class ZipfPicker
+{
+  public:
+    ZipfPicker(std::size_t n, double s)
+    {
+        cdf_.reserve(n);
+        double total = 0.0;
+        for (std::size_t r = 0; r < n; ++r) {
+            total += 1.0 / std::pow(static_cast<double>(r + 1), s);
+            cdf_.push_back(total);
+        }
+        for (double &c : cdf_)
+            c /= total;
+    }
+
+    /**
+     * Draw one rank: the smallest r with u < cdf[r] (binary search,
+     * equivalent to a linear first-passage scan of the CDF). An
+     * empty domain returns 0 rather than underflowing.
+     */
+    std::size_t
+    pick(Rng &rng) const noexcept
+    {
+        if (cdf_.empty())
+            return 0;
+        double u = rng.uniform();
+        auto it = std::upper_bound(cdf_.begin(), cdf_.end(), u);
+        if (it == cdf_.end())
+            return cdf_.size() - 1;
+        return static_cast<std::size_t>(it - cdf_.begin());
+    }
+
+    /** Number of ranks (n at construction). */
+    std::size_t size() const noexcept { return cdf_.size(); }
+
+    /** P(rank == r) under the normalised distribution. */
+    double
+    probability(std::size_t r) const noexcept
+    {
+        if (r >= cdf_.size())
+            return 0.0;
+        return r == 0 ? cdf_[0] : cdf_[r] - cdf_[r - 1];
+    }
+
+  private:
+    std::vector<double> cdf_;
+};
+
+} // namespace glider
+
+#endif // GLIDER_COMMON_ZIPF_HH

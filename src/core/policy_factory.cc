@@ -4,9 +4,13 @@
 #include "core/policy_traits.hh"
 #include "glider_policy.hh"
 #include "verify/checked_policy.hh"
+#include "policies/coalesce.hh"
+#include "policies/frd.hh"
 #include "policies/hawkeye.hh"
+#include "policies/heuristics.hh"
 #include "policies/lru.hh"
 #include "policies/mpppb.hh"
+#include "policies/mustache.hh"
 #include "policies/random.hh"
 #include "policies/rrip.hh"
 #include "policies/sdbp.hh"
@@ -30,6 +34,13 @@ static_assert(RegisteredPolicy<policies::ShipPPPolicy>);
 static_assert(RegisteredPolicy<policies::MpppbPolicy>);
 static_assert(RegisteredPolicy<policies::HawkeyePolicy>);
 static_assert(RegisteredPolicy<GliderPolicy>);
+// The policy zoo (ROADMAP bullet 3): reuse-distance regression,
+// Markov lookahead, perceptron bypass, and the two cheap heuristics.
+static_assert(RegisteredPolicy<policies::FrdPolicy>);
+static_assert(RegisteredPolicy<policies::MustachePolicy>);
+static_assert(RegisteredPolicy<policies::CoalescePolicy>);
+static_assert(RegisteredPolicy<policies::EntropyAgePolicy>);
+static_assert(RegisteredPolicy<policies::DecayCountPolicy>);
 
 // The invariant checker is deliberately NOT a RegisteredPolicy: it
 // reports protocol violations by throwing, so its hot methods cannot
@@ -39,14 +50,22 @@ static_assert(!PolicyHotPath<verify::CheckedPolicy>);
 std::vector<std::string>
 policyNames()
 {
-    return {"LRU",   "Random", "SRRIP", "BRRIP",   "DRRIP",  "SDBP",
-            "SHiP",  "SHiP++", "MPPPB", "Hawkeye", "Glider"};
+    return {"LRU",     "Random",   "SRRIP",      "BRRIP",
+            "DRRIP",   "SDBP",     "SHiP",       "SHiP++",
+            "MPPPB",   "Hawkeye",  "Glider",     "FRD",
+            "MUSTACHE", "COALESCE", "EntropyAge", "DecayCount"};
 }
 
 std::vector<std::string>
 paperLineup()
 {
     return {"Hawkeye", "MPPPB", "SHiP++", "Glider"};
+}
+
+std::vector<std::string>
+zooLineup()
+{
+    return {"FRD", "MUSTACHE", "COALESCE", "EntropyAge", "DecayCount"};
 }
 
 namespace {
@@ -76,6 +95,16 @@ makeRawPolicy(const std::string &name)
         return std::make_unique<policies::HawkeyePolicy>();
     if (name == "Glider")
         return std::make_unique<GliderPolicy>();
+    if (name == "FRD")
+        return std::make_unique<policies::FrdPolicy>();
+    if (name == "MUSTACHE")
+        return std::make_unique<policies::MustachePolicy>();
+    if (name == "COALESCE")
+        return std::make_unique<policies::CoalescePolicy>();
+    if (name == "EntropyAge")
+        return std::make_unique<policies::EntropyAgePolicy>();
+    if (name == "DecayCount")
+        return std::make_unique<policies::DecayCountPolicy>();
     GLIDER_FATAL("unknown policy: " + name);
 }
 

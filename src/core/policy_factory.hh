@@ -22,7 +22,8 @@ std::vector<std::string> policyNames();
 
 /**
  * Construct a policy by name ("LRU", "Random", "SRRIP", "BRRIP",
- * "DRRIP", "SHiP", "SHiP++", "MPPPB", "Hawkeye", "Glider").
+ * "DRRIP", "SHiP", "SHiP++", "MPPPB", "Hawkeye", "Glider", "FRD",
+ * "MUSTACHE", "COALESCE", "EntropyAge", "DecayCount").
  * Fatal on unknown names.
  */
 std::unique_ptr<sim::ReplacementPolicy>
@@ -30,6 +31,13 @@ makePolicy(const std::string &name);
 
 /** The paper's Figure 11–13 lineup: Hawkeye, MPPPB, SHiP++, Glider. */
 std::vector<std::string> paperLineup();
+
+/**
+ * The policy zoo (ROADMAP bullet 3): FRD, MUSTACHE, COALESCE, and
+ * the two cheap heuristic baselines — the lineup of the adversarial
+ * scenario grid in fig11/fig12.
+ */
+std::vector<std::string> zooLineup();
 
 } // namespace core
 } // namespace glider

@@ -1,0 +1,179 @@
+/**
+ * @file
+ * COALESCE-style bypass policy (see SNIPPETS.md snippet 2): a hashed
+ * perceptron over PC features decides, on each LLC miss, whether the
+ * incoming line is worth caching at all; lines predicted reuse-less
+ * are bypassed. A ghost buffer — a Bloom filter over recently
+ * discarded blocks — catches the mistakes: a miss whose block sits
+ * in the ghost filter means a bypass/eviction threw away a line the
+ * program wanted back, which trains the perceptron toward caching.
+ * Lines that are cached insert at SRRIP positions scaled by the
+ * perceptron's confidence.
+ *
+ * Storage: three 4K-entry int8 weight tables (one per PC hash), a
+ * 64K-bit ghost Bloom filter (epoch-cleared to bound staleness), and
+ * two per-line bytes; all preallocated in reset().
+ */
+
+#ifndef GLIDER_POLICIES_COALESCE_HH
+#define GLIDER_POLICIES_COALESCE_HH
+
+#include <vector>
+
+#include "common/hash.hh"
+#include "rrip.hh"
+
+namespace glider {
+namespace policies {
+
+/** Hashed-perceptron bypass with a ghost-buffer Bloom filter. */
+class CoalescePolicy : public RrpvBase
+{
+  public:
+    std::string name() const override { return "COALESCE"; }
+
+    void
+    reset(const sim::CacheGeometry &geom) override
+    {
+        RrpvBase::reset(geom);
+        for (auto &t : weights_)
+            t.assign(kWeightEntries, 0);
+        bloom_.assign(kBloomBits / 64, 0);
+        ghost_fill_ = 0;
+        line_pc_.assign(geom.sets * geom.ways, 0);
+        line_reused_.assign(geom.sets * geom.ways, 0);
+    }
+
+    std::uint32_t
+    victimWay(const sim::ReplacementAccess &access,
+              sim::SetView lines) noexcept override
+    {
+        // Ghost hit: this block was recently bypassed or evicted and
+        // the program came back for it — a caching mistake. Train
+        // the requesting PC toward caching.
+        if (ghostContains(access.block_addr))
+            train(access.pc, +1);
+        if (predictSum(access.pc) < kBypassThreshold) {
+            // Predicted reuse-less: skip insertion, but remember the
+            // block so a near-term re-miss can veto the prediction.
+            ghostAdd(access.block_addr);
+            train(access.pc, -1);
+            return geom_.ways; // bypass sentinel
+        }
+        return RrpvBase::victimWay(access, lines);
+    }
+
+    void
+    onHit(const sim::ReplacementAccess &access, std::uint32_t way)
+        noexcept override
+    {
+        RrpvBase::onHit(access, way);
+        std::size_t idx = access.set * geom_.ways + way;
+        if (!line_reused_[idx]) {
+            line_reused_[idx] = 1;
+            train(line_pc_[idx], +1);
+        }
+    }
+
+    void
+    onEvict(const sim::ReplacementAccess &access, std::uint32_t way,
+            const sim::LineView &victim) noexcept override
+    {
+        // Every discarded block enters the ghost buffer; dead-on-
+        // arrival lines additionally train their inserting PC down.
+        ghostAdd(victim.block_addr);
+        std::size_t idx = access.set * geom_.ways + way;
+        if (!line_reused_[idx])
+            train(line_pc_[idx], -1);
+    }
+
+    void
+    onInsert(const sim::ReplacementAccess &access, std::uint32_t way)
+        noexcept override
+    {
+        std::size_t idx = access.set * geom_.ways + way;
+        line_pc_[idx] = access.pc;
+        line_reused_[idx] = 0;
+        int sum = predictSum(access.pc);
+        std::uint8_t insert = kMaxRrpv - 1;
+        if (sum >= kConfidentThreshold)
+            insert = 0; // confident reuse: protect immediately
+        else if (sum < 0)
+            insert = kMaxRrpv; // cached on the benefit of the doubt
+        rowFor(access.set)[way] = insert;
+    }
+
+  private:
+    static constexpr std::size_t kTables = 3;
+    static constexpr std::size_t kWeightEntries = 4096;
+    static constexpr std::size_t kBloomBits = 64 * 1024;
+    static constexpr std::uint64_t kGhostEpoch = 8192;
+    static constexpr int kBypassThreshold = -6;
+    static constexpr int kConfidentThreshold = 6;
+    static constexpr int kWeightMax = 31;
+    static constexpr int kWeightMin = -32;
+
+    std::size_t
+    weightIndex(std::size_t t, std::uint64_t pc) const
+    {
+        return static_cast<std::size_t>(
+            hashInto(hashCombine(pc, 0xC0A1 + t), kWeightEntries));
+    }
+
+    int
+    predictSum(std::uint64_t pc) const
+    {
+        int sum = 0;
+        for (std::size_t t = 0; t < kTables; ++t)
+            sum += weights_[t][weightIndex(t, pc)];
+        return sum;
+    }
+
+    /** Saturating perceptron update across the hashed tables. */
+    void
+    train(std::uint64_t pc, int dir)
+    {
+        for (std::size_t t = 0; t < kTables; ++t) {
+            auto &w = weights_[t][weightIndex(t, pc)];
+            int next = w + dir;
+            if (next >= kWeightMin && next <= kWeightMax)
+                w = static_cast<std::int8_t>(next);
+        }
+    }
+
+    void
+    ghostAdd(std::uint64_t block)
+    {
+        // Epoch clear: after kGhostEpoch inserts the filter is dense
+        // enough that stale ghosts would dominate; start over.
+        if (++ghost_fill_ > kGhostEpoch) {
+            for (auto &word : bloom_)
+                word = 0;
+            ghost_fill_ = 0;
+        }
+        std::uint64_t h1 = mix64(block);
+        std::uint64_t h2 = mix64(block ^ 0x9E3779B97F4A7C15ull);
+        bloom_[(h1 % kBloomBits) / 64] |= 1ull << (h1 % 64);
+        bloom_[(h2 % kBloomBits) / 64] |= 1ull << (h2 % 64);
+    }
+
+    bool
+    ghostContains(std::uint64_t block) const
+    {
+        std::uint64_t h1 = mix64(block);
+        std::uint64_t h2 = mix64(block ^ 0x9E3779B97F4A7C15ull);
+        return (bloom_[(h1 % kBloomBits) / 64] >> (h1 % 64) & 1)
+            && (bloom_[(h2 % kBloomBits) / 64] >> (h2 % 64) & 1);
+    }
+
+    std::vector<std::int8_t> weights_[kTables];
+    std::vector<std::uint64_t> bloom_; //!< ghost-buffer bit words
+    std::uint64_t ghost_fill_ = 0;
+    std::vector<std::uint64_t> line_pc_;
+    std::vector<std::uint8_t> line_reused_;
+};
+
+} // namespace policies
+} // namespace glider
+
+#endif // GLIDER_POLICIES_COALESCE_HH

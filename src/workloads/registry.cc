@@ -13,6 +13,7 @@
 #include "traces/gtrace.hh"
 #include "traces/trace_cache.hh"
 #include "graph_kernels.hh"
+#include "scenario_kernels.hh"
 #include "scheduler_kernel.hh"
 #include "spec_kernels.hh"
 
@@ -34,6 +35,10 @@ enum class Family
     Compression,
     TreeWalk,
     Graph,
+    PhaseShift,
+    ScanFlood,
+    MultiTenant,
+    ZipfStream,
 };
 
 struct Entry
@@ -114,6 +119,16 @@ const Entry kTable[] = {
     {"pr", Suite::Gap, Family::Graph, 150'000, GraphAlgo::PageRank},
     {"sssp", Suite::Gap, Family::Graph, 90'000, GraphAlgo::Sssp},
     {"tc", Suite::Gap, Family::Graph, 120'000, GraphAlgo::TriangleCount},
+    // Adversarial scenario matrix (policy zoo; appended so existing
+    // kernel_ids — and with them every PC namespace — stay stable).
+    {"adv.phase", Suite::Adversarial, Family::PhaseShift, 600'000,
+     GraphAlgo::Bfs},
+    {"adv.scanflood", Suite::Adversarial, Family::ScanFlood, 500'000,
+     GraphAlgo::Bfs},
+    {"adv.multitenant", Suite::Adversarial, Family::MultiTenant,
+     400'000, GraphAlgo::Bfs},
+    {"adv.zipf", Suite::Adversarial, Family::ZipfStream, 1'000'000,
+     GraphAlgo::Bfs},
 };
 
 constexpr std::size_t kTableSize = sizeof(kTable) / sizeof(kTable[0]);
@@ -149,13 +164,28 @@ allWorkloads()
 std::vector<std::string>
 figure11Workloads()
 {
-    // Figure 11/12's 33 workloads: everything except 628.pop2 and
-    // 657.xz (which only appear in the Figure 10 accuracy study).
+    // Figure 11/12's 33 workloads: the paper suites minus 628.pop2
+    // and 657.xz (which only appear in the Figure 10 accuracy study).
+    // Suite-based so appending scenario entries to kTable never
+    // perturbs the paper figures.
     std::vector<std::string> names;
     for (const auto &e : kTable) {
+        if (e.suite == Suite::Adversarial)
+            continue;
         std::string n = e.name;
         if (n != "628.pop2" && n != "657.xz")
             names.push_back(n);
+    }
+    return names;
+}
+
+std::vector<std::string>
+scenarioWorkloads()
+{
+    std::vector<std::string> names;
+    for (const auto &e : kTable) {
+        if (e.suite == Suite::Adversarial)
+            names.emplace_back(e.name);
     }
     return names;
 }
@@ -284,6 +314,42 @@ makeWorkload(const std::string &name, std::uint64_t target_accesses)
         p.vertices = e.scale;
         p.algo = e.algo;
         return std::make_unique<GraphKernel>(p);
+      }
+      case Family::PhaseShift: {
+        PhaseShiftKernel::Params p;
+        p.name = name;
+        p.kernel_id = id;
+        p.seed = seed;
+        p.target_accesses = target_accesses;
+        p.stream_elems = e.scale;
+        return std::make_unique<PhaseShiftKernel>(p);
+      }
+      case Family::ScanFlood: {
+        ScanFloodKernel::Params p;
+        p.name = name;
+        p.kernel_id = id;
+        p.seed = seed;
+        p.target_accesses = target_accesses;
+        p.flood_elems = e.scale;
+        return std::make_unique<ScanFloodKernel>(p);
+      }
+      case Family::MultiTenant: {
+        MultiTenantKernel::Params p;
+        p.name = name;
+        p.kernel_id = id;
+        p.seed = seed;
+        p.target_accesses = target_accesses;
+        p.stream_elems = e.scale;
+        return std::make_unique<MultiTenantKernel>(p);
+      }
+      case Family::ZipfStream: {
+        ZipfStreamKernel::Params p;
+        p.name = name;
+        p.kernel_id = id;
+        p.seed = seed;
+        p.target_accesses = target_accesses;
+        p.objects = e.scale;
+        return std::make_unique<ZipfStreamKernel>(p);
       }
     }
     GLIDER_PANIC("unreachable workload family");

@@ -1,0 +1,217 @@
+#include "scenario_kernels.hh"
+
+#include "common/hash.hh"
+#include "common/rng.hh"
+#include "common/zipf.hh"
+
+namespace glider {
+namespace workloads {
+
+namespace {
+
+/** True once @p target accesses have been appended since @p start. */
+bool
+budgetDone(const traces::TraceSink &trace, std::size_t start,
+           std::uint64_t target)
+{
+    return trace.size() - start >= target;
+}
+
+} // namespace
+
+void
+PhaseShiftKernel::run(traces::TraceSink &trace)
+{
+    RecordingMemory mem(trace);
+    PcBlock pcs(p_.kernel_id);
+    Rng rng(p_.seed);
+    std::size_t start = trace.size();
+
+    TracedArray<std::uint64_t> stream(mem, p_.stream_elems, 1);
+    TracedArray<std::uint64_t> gather(mem, p_.gather_elems, 1);
+    // The hot buffer covers the whole stream region; each phase epoch
+    // uses a different hot window inside it, so "hot" addresses learned
+    // in one epoch are plain streaming traffic in the next.
+    std::uint64_t epoch = 0;
+    std::size_t stream_pos = 0;
+
+    while (!budgetDone(trace, start, p_.target_accesses)) {
+        std::size_t hot_base =
+            (epoch * p_.hot_elems * 7) % (p_.stream_elems - p_.hot_elems);
+        std::size_t quota_start = trace.size();
+
+        // Phase 0: tight reuse loop over the current hot window.
+        while (trace.size() - quota_start < p_.phase_accesses
+               && !budgetDone(trace, start, p_.target_accesses)) {
+            for (std::size_t i = 0; i < p_.hot_elems; i += 8) {
+                auto v = stream.get(pcs.pc(0), hot_base + i);
+                stream.set(pcs.pc(1), hot_base + i, v + epoch);
+                if (trace.size() - quota_start >= p_.phase_accesses
+                    || budgetDone(trace, start, p_.target_accesses)) {
+                    break;
+                }
+            }
+        }
+        if (budgetDone(trace, start, p_.target_accesses))
+            return;
+
+        // Phase 1: streaming sweep continuing from where the last
+        // sweep stopped — pure pollution with no short-term reuse.
+        quota_start = trace.size();
+        while (trace.size() - quota_start < p_.phase_accesses) {
+            stream.get(pcs.pc(2), stream_pos);
+            stream_pos = (stream_pos + 8) % p_.stream_elems;
+            if (budgetDone(trace, start, p_.target_accesses))
+                return;
+        }
+
+        // Phase 2: skewed gather — data-dependent indices biased
+        // toward an epoch-rotating head of the gather region.
+        quota_start = trace.size();
+        while (trace.size() - quota_start < p_.phase_accesses) {
+            std::size_t head = (epoch * 4099) % p_.gather_elems;
+            std::size_t idx = rng.chance(0.7)
+                ? (head + rng.below(p_.gather_elems / 16))
+                    % p_.gather_elems
+                : rng.below(p_.gather_elems);
+            auto v = gather.get(pcs.pc(3), idx);
+            gather.set(pcs.pc(4), idx, v ^ (v >> 3) ^ epoch);
+            if (budgetDone(trace, start, p_.target_accesses))
+                return;
+        }
+        ++epoch;
+    }
+}
+
+void
+ScanFloodKernel::run(traces::TraceSink &trace)
+{
+    RecordingMemory mem(trace);
+    PcBlock pcs(p_.kernel_id);
+    Rng rng(p_.seed);
+    std::size_t start = trace.size();
+
+    TracedArray<std::uint64_t> hot(mem, p_.hot_elems, 1);
+    TracedArray<std::uint64_t> flood(mem, p_.flood_elems, 1);
+
+    while (!budgetDone(trace, start, p_.target_accesses)) {
+        // Hot rounds: sample the hot set with a mild skew so a
+        // frequency-aware policy can rank even within the hot set.
+        for (std::size_t round = 0; round < p_.hot_rounds; ++round) {
+            for (std::size_t i = 0; i < p_.hot_elems; i += 8) {
+                std::size_t idx = rng.chance(0.5)
+                    ? i / 2    // the front half gets double traffic
+                    : i;
+                auto v = hot.get(pcs.pc(0), idx);
+                hot.set(pcs.pc(1), idx, v + round);
+                if (budgetDone(trace, start, p_.target_accesses))
+                    return;
+            }
+        }
+        // The flood: one-shot sequential sweep far beyond LLC size.
+        // Every line is dead on arrival — the defining bypass test.
+        for (std::size_t i = 0; i < p_.flood_elems; i += 8) {
+            flood.get(pcs.pc(2), i);
+            if (budgetDone(trace, start, p_.target_accesses))
+                return;
+        }
+    }
+}
+
+void
+MultiTenantKernel::run(traces::TraceSink &trace)
+{
+    RecordingMemory mem(trace);
+    PcBlock pcs(p_.kernel_id);
+    Rng rng(p_.seed);
+    std::size_t start = trace.size();
+
+    TracedArray<std::uint64_t> stream(mem, p_.stream_elems, 1);
+    TracedArray<std::uint64_t> loop(mem, p_.loop_elems, 1);
+    TracedArray<std::uint64_t> table(mem, p_.table_elems, 1);
+
+    std::size_t stream_pos = 0;
+    std::size_t loop_pos = 0;
+    std::uint32_t tenant = 0;
+
+    while (!budgetDone(trace, start, p_.target_accesses)) {
+        // Context switch: a random-length quantum for the next tenant
+        // (round-robin order, exponential-ish length spread).
+        std::uint64_t quantum =
+            p_.quantum_mean / 2 + rng.below(p_.quantum_mean);
+        std::size_t quantum_start = trace.size();
+
+        switch (tenant) {
+          case 0: // loop tenant: cache-friendly cyclic reuse
+            while (trace.size() - quantum_start < quantum) {
+                auto v = loop.get(pcs.pc(0), loop_pos);
+                loop.set(pcs.pc(1), loop_pos, v + 1);
+                loop_pos = (loop_pos + 8) % p_.loop_elems;
+                if (budgetDone(trace, start, p_.target_accesses))
+                    return;
+            }
+            break;
+          case 1: // streaming tenant: pure pollution
+            while (trace.size() - quantum_start < quantum) {
+                stream.get(pcs.pc(2), stream_pos);
+                stream_pos = (stream_pos + 8) % p_.stream_elems;
+                if (budgetDone(trace, start, p_.target_accesses))
+                    return;
+            }
+            break;
+          default: // table tenant: skewed lookups, moderate reuse
+            while (trace.size() - quantum_start < quantum) {
+                std::size_t idx = zipfDraw(rng, p_.table_elems, 0.8);
+                auto v = table.get(pcs.pc(3), idx);
+                if (v % 5 == 0)
+                    table.set(pcs.pc(4), idx, v + 3);
+                else
+                    table.set(pcs.pc(5), idx, v + 1);
+                if (budgetDone(trace, start, p_.target_accesses))
+                    return;
+            }
+            break;
+        }
+        tenant = (tenant + 1) % 3;
+    }
+}
+
+void
+ZipfStreamKernel::run(traces::TraceSink &trace)
+{
+    RecordingMemory mem(trace);
+    PcBlock pcs(p_.kernel_id);
+    Rng rng(p_.seed);
+    std::size_t start = trace.size();
+
+    TracedArray<std::uint64_t> objects(mem, p_.objects, 1);
+    TracedArray<std::uint64_t> metadata(mem, p_.ranks / 4, 0);
+    // Exact-CDF sampler (not the kernels' inverse-power approximation):
+    // request popularity must match the analytic Zipf head mass that
+    // the TTLCacheNet setting assumes.
+    ZipfPicker picker(p_.ranks, p_.zipf_s);
+
+    std::uint64_t epoch = 0;
+    std::uint64_t epoch_start = trace.size();
+
+    while (!budgetDone(trace, start, p_.target_accesses)) {
+        if (trace.size() - epoch_start >= p_.drift_accesses) {
+            ++epoch; // popularity drift: remap ranks to new objects
+            epoch_start = trace.size();
+        }
+        std::size_t rank = picker.pick(rng);
+        // Rank-to-object mapping rotates per epoch; the multiplier is
+        // coprime with any power-of-two object count, so the hot head
+        // scatters across the object space instead of clustering.
+        std::size_t obj =
+            (rank * 2654435761ull + epoch * 40503ull) % p_.objects;
+        auto v = objects.get(pcs.pc(0), obj);
+        objects.set(pcs.pc(1), obj, v + 1);
+        // Metadata shard lookup: hashed by rank, so head-object
+        // metadata is itself hot — a second, smaller reuse tier.
+        metadata.get(pcs.pc(2), hashInto(rank, metadata.size()));
+    }
+}
+
+} // namespace workloads
+} // namespace glider

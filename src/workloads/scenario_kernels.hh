@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Adversarial scenario kernels for the policy-zoo matrix (ROADMAP
+ * bullet 3). Where the SPEC-like kernels imitate specific benchmarks,
+ * these distil the stress patterns that separate replacement policies
+ * most sharply:
+ *
+ *  - PhaseShiftKernel: abrupt working-set changes — a policy's learned
+ *    state is periodically invalidated wholesale, punishing slow
+ *    forgetters (and rewarding DecayCount-style decay).
+ *  - ScanFloodKernel: a cache-resident hot set interrupted by one-shot
+ *    scan floods — the classic scan-resistance test that LRU fails.
+ *  - MultiTenantKernel: interleaved tenants with conflicting patterns
+ *    (loop, stream, skewed table) context-switching at random-length
+ *    quanta, so per-PC statistics blur across tenants.
+ *  - ZipfStreamKernel: a TTLCacheNet-style CDN request stream — exact
+ *    Zipf popularity (common/zipf.hh) over a large object space with
+ *    epochal popularity drift.
+ *
+ * All four are deterministic functions of their parameters, share the
+ * KernelParams plumbing of the SPEC-like kernels, and live in the same
+ * registry PC namespace scheme (kernel_id-indexed PcBlock).
+ */
+
+#ifndef GLIDER_WORKLOADS_SCENARIO_KERNELS_HH
+#define GLIDER_WORKLOADS_SCENARIO_KERNELS_HH
+
+#include <cstdint>
+#include <string>
+
+#include "kernel.hh"
+#include "recording_memory.hh"
+#include "spec_kernels.hh" // KernelParams
+
+namespace glider {
+namespace workloads {
+
+/**
+ * Phase-changing workload: rotates through three phases — a tight
+ * loop over a hot buffer, a streaming sweep, and a skewed gather —
+ * each running for a fixed access quota before switching. Every phase
+ * boundary also advances the hot buffer's position, so state learned
+ * in one phase is actively wrong in the next.
+ */
+class PhaseShiftKernel : public Kernel
+{
+  public:
+    struct Params : KernelParams
+    {
+        std::size_t stream_elems = 600'000; //!< 8B each (~4.8 MB)
+        std::size_t hot_elems = 24'576;     //!< ~192 KB, L2 < hot < LLC
+        std::size_t gather_elems = 120'000; //!< skewed-gather region
+        std::uint64_t phase_accesses = 40'000; //!< quota per phase
+    };
+
+    explicit PhaseShiftKernel(Params p) : p_(std::move(p)) {}
+    std::string name() const override { return p_.name; }
+    void run(traces::TraceSink &sink) override;
+
+  private:
+    Params p_;
+};
+
+/**
+ * Scan-flood workload: a small hot set is accessed continuously
+ * (skewed so even within the hot set some lines matter more);
+ * periodically a one-shot scan flood sweeps a region far larger than
+ * the LLC. A scan-resistant policy keeps the hot set resident through
+ * the flood; recency-driven policies lose it every time.
+ */
+class ScanFloodKernel : public Kernel
+{
+  public:
+    struct Params : KernelParams
+    {
+        std::size_t flood_elems = 500'000; //!< 8B each (~4 MB) per flood
+        std::size_t hot_elems = 20'480;    //!< ~160 KB hot set
+        std::size_t hot_rounds = 24;       //!< hot passes between floods
+    };
+
+    explicit ScanFloodKernel(Params p) : p_(std::move(p)) {}
+    std::string name() const override { return p_.name; }
+    void run(traces::TraceSink &sink) override;
+
+  private:
+    Params p_;
+};
+
+/**
+ * Multi-tenant interference: three tenants — a loop tenant (small
+ * reusable buffer), a streaming tenant (large one-shot sweeps), and a
+ * table tenant (Zipf-skewed lookups) — share the cache, context-
+ * switching at random-length quanta. Each tenant's accesses come from
+ * its own call sites, but the interleaving makes recency and
+ * frequency signals mutually polluting.
+ */
+class MultiTenantKernel : public Kernel
+{
+  public:
+    struct Params : KernelParams
+    {
+        std::size_t stream_elems = 400'000; //!< streaming tenant (~3.2 MB)
+        std::size_t loop_elems = 12'288;    //!< loop tenant (~96 KB)
+        std::size_t table_elems = 96'000;   //!< table tenant (~768 KB)
+        std::uint64_t quantum_mean = 2'000; //!< mean accesses per quantum
+    };
+
+    explicit MultiTenantKernel(Params p) : p_(std::move(p)) {}
+    std::string name() const override { return p_.name; }
+    void run(traces::TraceSink &sink) override;
+
+  private:
+    Params p_;
+};
+
+/**
+ * Zipf request stream (after the TTLCacheNet CDN-trace setting): each
+ * request draws an object rank from an exact Zipf(s) distribution
+ * (common/zipf.hh) and touches that object's record plus a hashed
+ * metadata slot. Every drift epoch the rank-to-object mapping
+ * rotates, so yesterday's head objects decay into the tail and the
+ * policy must re-learn the popular set.
+ */
+class ZipfStreamKernel : public Kernel
+{
+  public:
+    struct Params : KernelParams
+    {
+        std::size_t objects = 1'000'000;  //!< object space (~8 MB)
+        std::size_t ranks = 262'144;      //!< Zipf domain size
+        double zipf_s = 0.9;              //!< popularity skew
+        std::uint64_t drift_accesses = 150'000; //!< epoch length
+    };
+
+    explicit ZipfStreamKernel(Params p) : p_(std::move(p)) {}
+    std::string name() const override { return p_.name; }
+    void run(traces::TraceSink &sink) override;
+
+  private:
+    Params p_;
+};
+
+} // namespace workloads
+} // namespace glider
+
+#endif // GLIDER_WORKLOADS_SCENARIO_KERNELS_HH

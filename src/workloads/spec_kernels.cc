@@ -26,9 +26,13 @@ zipfDraw(Rng &rng, std::size_t n, double s)
 {
     // Power-law approximation of a Zipf(s) draw: skew a uniform draw
     // toward index 0 with exponent growing in s. Exact Zipf sampling
-    // would need per-(n, s) harmonic tables; the predictors under
-    // study only care that a small head of indices absorbs most
-    // probability mass, which this preserves.
+    // lives in common/zipf.hh (ZipfPicker); this approximation stays
+    // because committed golden traces and spill fingerprints depend
+    // on its exact output, and the predictors under study only care
+    // that a small head of indices absorbs most probability mass,
+    // which this preserves.
+    if (n == 0)
+        return 0; // empty domain: n - 1 would underflow to SIZE_MAX
     double gamma = 1.0 + 3.0 * s;
     double u = rng.uniform();
     auto idx = static_cast<std::size_t>(
@@ -367,7 +371,12 @@ CompressionKernel::run(traces::TraceSink &trace)
             auto tok = input.get(pcs.pc(0), i);
             auto slot = hashInto(tok ^ (i >> 3), p_.hash_entries);
             auto prev = hash_tab.get(pcs.pc(1), slot);
-            hash_tab.set(pcs.pc(2), slot, i);
+            // Slots store i + 1 so 0 is a true "never filled"
+            // sentinel: index 0 is a legal match position, and the
+            // old `set(slot, i)` encoding made any slot written at
+            // i == 0 read as empty forever, silently disabling its
+            // back-reference path.
+            hash_tab.set(pcs.pc(2), slot, i + 1);
             if (prev != 0 && rng.chance(0.3)) {
                 // Back-reference: re-read a recent window position,
                 // Zipf-near offsets so the sliding window stays warm.

@@ -75,11 +75,15 @@ TEST_P(AllocGuardPolicy, WarmedCacheAccessPathIsAllocationFree)
 // bookkeeping keys on PC, so a trace whose PC working set is still
 // growing legitimately allocates map nodes long past warmup. The
 // zero-allocation contract covers the per-access fast path, which
-// these eight policies exercise without sampler machinery.
+// the remaining policies — including the whole policy zoo, whose
+// tables are preallocated in reset() — exercise without sampler
+// machinery.
 INSTANTIATE_TEST_SUITE_P(Policies, AllocGuardPolicy,
                          ::testing::Values("LRU", "Random", "SRRIP",
                                            "BRRIP", "DRRIP", "SHiP",
-                                           "SHiP++", "MPPPB"),
+                                           "SHiP++", "MPPPB", "FRD",
+                                           "MUSTACHE", "COALESCE",
+                                           "EntropyAge", "DecayCount"),
                          [](const auto &row) {
                              std::string n = row.param;
                              for (auto &c : n) {

@@ -14,6 +14,7 @@
 #include "common/rng.hh"
 #include "common/saturating_counter.hh"
 #include "common/stats_util.hh"
+#include "common/zipf.hh"
 
 namespace glider {
 namespace {
@@ -277,6 +278,58 @@ TEST(StatsUtil, GeomeanOfPowers)
     EXPECT_NEAR(geomean({1.0, 4.0}), 2.0, 1e-12);
     EXPECT_NEAR(geomean({2.0, 2.0, 2.0}), 2.0, 1e-12);
     EXPECT_EQ(geomean({}), 0.0);
+}
+
+TEST(ZipfPicker, ProbabilitiesNormalisedAndMonotone)
+{
+    ZipfPicker picker(1000, 0.9);
+    ASSERT_EQ(picker.size(), 1000u);
+    double total = 0.0;
+    for (std::size_t r = 0; r < picker.size(); ++r) {
+        total += picker.probability(r);
+        if (r > 0) {
+            // Rank probabilities decay monotonically: 1/(r+1)^s.
+            EXPECT_LE(picker.probability(r), picker.probability(r - 1))
+                << r;
+        }
+    }
+    EXPECT_NEAR(total, 1.0, 1e-9);
+    EXPECT_EQ(picker.probability(1000), 0.0);
+}
+
+TEST(ZipfPicker, HeadMassMatchesAnalyticCdf)
+{
+    // The exact sampler's empirical head mass must track the analytic
+    // CDF — the property the cheap zipfDraw approximation lacks.
+    ZipfPicker picker(1000, 0.9);
+    double head_p = 0.0;
+    for (std::size_t r = 0; r < 100; ++r)
+        head_p += picker.probability(r);
+    Rng rng(21);
+    const int n = 50'000;
+    int head = 0;
+    for (int i = 0; i < n; ++i)
+        head += picker.pick(rng) < 100;
+    EXPECT_NEAR(static_cast<double>(head) / n, head_p, 0.02);
+}
+
+TEST(ZipfPicker, DeterministicAndInRange)
+{
+    ZipfPicker picker(37, 1.1);
+    Rng a(5), b(5);
+    for (int i = 0; i < 5'000; ++i) {
+        std::size_t ra = picker.pick(a);
+        EXPECT_EQ(ra, picker.pick(b));
+        EXPECT_LT(ra, 37u);
+    }
+}
+
+TEST(ZipfPicker, EmptyDomainReturnsZero)
+{
+    ZipfPicker picker(0, 0.9);
+    Rng rng(6);
+    EXPECT_EQ(picker.size(), 0u);
+    EXPECT_EQ(picker.pick(rng), 0u);
 }
 
 TEST(StatsUtil, ArithmeticMean)

@@ -367,6 +367,18 @@ TEST(PolicyFactory, PaperLineup)
     EXPECT_EQ(lineup.back(), "Glider");
 }
 
+TEST(PolicyFactory, ZooLineupConstructs)
+{
+    auto zoo = zooLineup();
+    EXPECT_EQ(zoo.size(), 5u);
+    auto names = policyNames();
+    std::set<std::string> known(names.begin(), names.end());
+    for (const auto &name : zoo) {
+        EXPECT_TRUE(known.count(name)) << name;
+        EXPECT_EQ(makePolicy(name)->name(), name);
+    }
+}
+
 sim::CacheConfig
 smallLlc()
 {

@@ -15,6 +15,7 @@
 #include "workloads/graph_kernels.hh"
 #include "workloads/recording_memory.hh"
 #include "workloads/registry.hh"
+#include "workloads/scenario_kernels.hh"
 #include "workloads/scheduler_kernel.hh"
 #include "workloads/spec_kernels.hh"
 
@@ -24,10 +25,11 @@ namespace {
 
 TEST(Registry, WorkloadCounts)
 {
-    EXPECT_EQ(allWorkloads().size(), 35u);
+    EXPECT_EQ(allWorkloads().size(), 39u);
     EXPECT_EQ(figure11Workloads().size(), 33u);
     EXPECT_EQ(figure10Workloads().size(), 23u);
     EXPECT_EQ(offlineSubset().size(), 6u);
+    EXPECT_EQ(scenarioWorkloads().size(), 4u);
 }
 
 TEST(Registry, Figure10NamesAreRegistered)
@@ -143,6 +145,115 @@ TEST(Zipf, StaysInRange)
     Rng rng(10);
     for (int i = 0; i < 10000; ++i)
         EXPECT_LT(zipfDraw(rng, 37, 1.1), 37u);
+}
+
+TEST(Zipf, EmptyDomainReturnsZero)
+{
+    // Regression: zipfDraw(rng, 0, s) used to scale by n - 1, which
+    // underflows to SIZE_MAX for n == 0 and returned wild indices.
+    Rng rng(11);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(zipfDraw(rng, 0, 0.9), 0u);
+}
+
+TEST(SpecKernels, CompressionSlotZeroIsAValidMatch)
+{
+    // Regression for the empty-slot sentinel: slots store i + 1, so a
+    // slot filled at input position 0 reads back as occupied. With
+    // one hash slot and a two-iteration inner loop, every
+    // back-reference (the pc(3) loads) stems from a probe that saw
+    // the i == 0 fill; the old `set(slot, i)` encoding made that
+    // probe read "empty" and this count was zero.
+    CompressionKernel::Params p;
+    p.name = "senti";
+    p.kernel_id = 81;
+    p.seed = 3;
+    p.input_elems = 12;  // inner loop visits i = 0 and i = 2 only
+    p.hash_entries = 1;  // every probe shares the one slot
+    p.target_accesses = 20'000;
+    traces::Trace t("senti");
+    CompressionKernel(p).run(t);
+    PcBlock pcs(81);
+    std::size_t backrefs = 0;
+    for (const auto &r : t)
+        backrefs += r.pc == pcs.pc(3);
+    EXPECT_GT(backrefs, 0u);
+}
+
+TEST(ScenarioKernels, RegisteredInAdversarialSuite)
+{
+    auto scen = scenarioWorkloads();
+    ASSERT_EQ(scen.size(), 4u);
+    for (const auto &n : scen)
+        EXPECT_EQ(suiteOf(n), Suite::Adversarial) << n;
+    // Adversarial entries never leak into the paper figures.
+    for (const auto &n : figure11Workloads())
+        EXPECT_NE(suiteOf(n), Suite::Adversarial) << n;
+    for (const auto &n : figure10Workloads())
+        EXPECT_NE(suiteOf(n), Suite::Adversarial) << n;
+}
+
+TEST(ScenarioKernels, GenerateAndAreDeterministic)
+{
+    for (const auto &name : scenarioWorkloads()) {
+        traces::Trace a(name), b(name);
+        makeWorkload(name, 25'000)->run(a);
+        makeWorkload(name, 25'000)->run(b);
+        ASSERT_GE(a.size(), 25'000u) << name;
+        ASSERT_EQ(a.size(), b.size()) << name;
+        for (std::size_t i = 0; i < a.size(); i += 101)
+            EXPECT_EQ(a[i], b[i]) << name << " @" << i;
+    }
+}
+
+TEST(ScenarioKernels, PhaseShiftVisitsEveryPhase)
+{
+    PhaseShiftKernel::Params p;
+    p.name = "ps";
+    p.kernel_id = 88;
+    p.seed = 5;
+    p.stream_elems = 50'000;
+    p.hot_elems = 2'048;
+    p.gather_elems = 10'000;
+    p.phase_accesses = 4'000;
+    p.target_accesses = 40'000;
+    traces::Trace t("ps");
+    PhaseShiftKernel(p).run(t);
+    PcBlock pcs(88);
+    std::size_t hot = 0, stream = 0, gather = 0;
+    for (const auto &r : t) {
+        hot += r.pc == pcs.pc(0);
+        stream += r.pc == pcs.pc(2);
+        gather += r.pc == pcs.pc(3);
+    }
+    EXPECT_GT(hot, 1'000u);
+    EXPECT_GT(stream, 1'000u);
+    EXPECT_GT(gather, 1'000u);
+}
+
+TEST(ScenarioKernels, ScanFloodSeparatesHotAndFloodStreams)
+{
+    ScanFloodKernel::Params p;
+    p.name = "sf";
+    p.kernel_id = 90;
+    p.seed = 7;
+    p.flood_elems = 40'000;
+    p.hot_elems = 2'048;
+    p.hot_rounds = 4;
+    p.target_accesses = 30'000;
+    traces::Trace t("sf");
+    ScanFloodKernel(p).run(t);
+    PcBlock pcs(90);
+    std::unordered_set<std::uint64_t> hot_blocks, flood_blocks;
+    for (const auto &r : t) {
+        if (r.pc == pcs.pc(0))
+            hot_blocks.insert(traces::blockAddr(r.address));
+        else if (r.pc == pcs.pc(2))
+            flood_blocks.insert(traces::blockAddr(r.address));
+    }
+    ASSERT_GT(hot_blocks.size(), 0u);
+    // The flood sweeps a region far larger than the hot set.
+    EXPECT_GT(flood_blocks.size(), 10 * hot_blocks.size());
 }
 
 TEST(Graph, CsrIsWellFormed)
